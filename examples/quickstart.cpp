@@ -1,0 +1,80 @@
+// Quickstart: the SSC interface in ten minutes.
+//
+// Builds a small solid-state cache, exercises all six interface operations
+// (write-dirty, write-clean, read, evict, clean, exists), then pulls the
+// power and shows what the consistency guarantees G1-G3 mean in practice.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <cinttypes>
+
+#include "src/ssc/ssc_device.h"
+
+using namespace flashtier;
+
+namespace {
+
+const char* Show(Status s) { return StatusName(s).data(); }
+
+}  // namespace
+
+int main() {
+  // A 64 MB cache (16,384 4 KB blocks) with full crash consistency.
+  SimClock clock;
+  SscConfig config;
+  config.capacity_pages = 16'384;
+  config.policy = EvictionPolicy::kSeUtil;
+  config.mode = ConsistencyMode::kFull;
+  SscDevice ssc(config, &clock);
+
+  std::printf("== FlashTier SSC quickstart ==\n\n");
+
+  // 1. The unified address space: cache blocks at their *disk* addresses —
+  //    no device address space, no host-side mapping table.
+  const Lbn kDiskBlock = 7'000'000'123ull;  // ~26 TB into the disk
+  std::printf("write-dirty  lbn=%" PRIu64 "  -> %s\n", kDiskBlock,
+              Show(ssc.WriteDirty(kDiskBlock, /*token=*/0xC0FFEE)));
+  std::printf("write-clean  lbn=%" PRIu64 " -> %s\n", kDiskBlock + 1,
+              Show(ssc.WriteClean(kDiskBlock + 1, 0xBEEF)));
+
+  // 2. Reads return the data or "not present" — the cache manager can probe
+  //    any address safely.
+  uint64_t token = 0;
+  const Status hit = ssc.Read(kDiskBlock, &token);
+  std::printf("read         lbn=%" PRIu64 "  -> %s (data %#" PRIx64 ")\n", kDiskBlock,
+              Show(hit), token);
+  std::printf("read         lbn=%" PRIu64 " -> %s (never written)\n", kDiskBlock + 2,
+              Show(ssc.Read(kDiskBlock + 2, &token)));
+
+  // 3. exists: query dirty state for write-back recovery.
+  Bitmap dirty;
+  ssc.Exists(kDiskBlock, 2, &dirty);
+  std::printf("exists       [%" PRIu64 ", +2)  -> dirty bits: %d %d\n", kDiskBlock,
+              static_cast<int>(dirty.Test(0)), static_cast<int>(dirty.Test(1)));
+
+  // 4. clean: tell the device the dirty block reached the disk, making it
+  //    silently evictable; evict: remove a block immediately.
+  std::printf("clean        lbn=%" PRIu64 "  -> %s\n", kDiskBlock, Show(ssc.Clean(kDiskBlock)));
+  std::printf("evict        lbn=%" PRIu64 " -> %s\n", kDiskBlock + 1,
+              Show(ssc.Evict(kDiskBlock + 1)));
+  std::printf("read         lbn=%" PRIu64 " -> %s (G3: evicted)\n\n", kDiskBlock + 1,
+              Show(ssc.Read(kDiskBlock + 1, &token)));
+
+  // 5. Crash and recover: the mapping is durable — no cache warm-up needed.
+  std::printf("-- power failure --\n");
+  ssc.SimulateCrash();
+  ssc.Recover();
+  std::printf("recovered in %" PRIu64 " us (checkpoint + log replay)\n",
+              ssc.last_recovery_us());
+  token = 0;
+  const Status after = ssc.Read(kDiskBlock, &token);
+  std::printf("read         lbn=%" PRIu64 "  -> %s (data %#" PRIx64 ")  "
+              "[G1/G2: present data is never stale]\n",
+              kDiskBlock, Show(after), token);
+
+  std::printf("\ncached %" PRIu64 " blocks, device map memory %zu bytes\n",
+              ssc.cached_pages(), ssc.DeviceMemoryUsage());
+  std::printf("virtual device time elapsed: %" PRIu64 " us\n", clock.now_us());
+  return 0;
+}

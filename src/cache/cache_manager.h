@@ -1,0 +1,60 @@
+// Cache manager interface (Section 3.1).
+//
+// A cache manager interposes at the OS block layer: application reads and
+// writes arrive here, and the manager decides what goes to the caching device
+// (SSC or SSD) and what goes to disk. Content identity flows through as
+// 64-bit tokens so integration tests can verify that no configuration ever
+// returns stale data.
+
+#ifndef FLASHTIER_CACHE_CACHE_MANAGER_H_
+#define FLASHTIER_CACHE_CACHE_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/flash/types.h"
+#include "src/util/status.h"
+
+namespace flashtier {
+
+struct ManagerStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_hits = 0;
+  uint64_t read_misses = 0;
+  uint64_t writebacks = 0;       // dirty blocks written back to disk
+  uint64_t cleans = 0;           // clean commands issued to the SSC
+  uint64_t evicts = 0;           // evictions (explicit or LRU replacement)
+  uint64_t metadata_writes = 0;  // native manager metadata persistence writes
+
+  double HitRate() const {
+    const uint64_t lookups = read_hits + read_misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(read_hits) / static_cast<double>(lookups);
+  }
+  double MissRatePercent() const {
+    const uint64_t lookups = read_hits + read_misses;
+    return lookups == 0 ? 0.0
+                        : 100.0 * static_cast<double>(read_misses) / static_cast<double>(lookups);
+  }
+};
+
+class CacheManager {
+ public:
+  virtual ~CacheManager() = default;
+
+  // Application read of one 4 KB block.
+  virtual Status Read(Lbn lbn, uint64_t* token) = 0;
+
+  // Application write of one 4 KB block.
+  virtual Status Write(Lbn lbn, uint64_t token) = 0;
+
+  // Host (OS) memory this manager needs for per-block state — the Table 4
+  // "Host" column.
+  virtual size_t HostMemoryUsage() const = 0;
+
+  virtual const ManagerStats& stats() const = 0;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_CACHE_CACHE_MANAGER_H_

@@ -1,0 +1,279 @@
+#include "src/cache/native.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sparsemap/sparse_hash_map.h"  // MixHash64
+
+namespace flashtier {
+
+NativeCacheManager::NativeCacheManager(SsdFtl* ssd, DiskModel* disk, uint64_t cache_pages,
+                                       const Options& options)
+    : ssd_(ssd), disk_(disk), options_(options), cache_pages_(cache_pages) {
+  sets_ = static_cast<uint32_t>(
+      std::max<uint64_t>(1, cache_pages / options_.associativity));
+  slots_.assign(static_cast<size_t>(sets_) * options_.associativity, Slot{});
+  set_head_.assign(sets_, kNilWay);
+  set_tail_.assign(sets_, kNilWay);
+  set_dirty_.assign(sets_, 0);
+  assert(ssd_->logical_pages() >= slots_.size() + kMetadataRegionPages);
+}
+
+uint32_t NativeCacheManager::SetOf(Lbn lbn) const {
+  return static_cast<uint32_t>(MixHash64(lbn) % sets_);
+}
+
+uint16_t NativeCacheManager::FindWay(uint32_t set, Lbn lbn) const {
+  const uint64_t base = static_cast<uint64_t>(set) * options_.associativity;
+  for (uint16_t way = 0; way < options_.associativity; ++way) {
+    const Slot& s = slots_[base + way];
+    if (s.state != SlotState::kFree && s.lbn == lbn) {
+      return way;
+    }
+  }
+  return kNilWay;
+}
+
+void NativeCacheManager::LruUnlink(uint32_t set, uint16_t way) {
+  Slot& s = SlotAt(set, way);
+  if (s.lru_prev != kNilWay) {
+    SlotAt(set, s.lru_prev).lru_next = s.lru_next;
+  } else {
+    set_head_[set] = s.lru_next;
+  }
+  if (s.lru_next != kNilWay) {
+    SlotAt(set, s.lru_next).lru_prev = s.lru_prev;
+  } else {
+    set_tail_[set] = s.lru_prev;
+  }
+  s.lru_prev = s.lru_next = kNilWay;
+}
+
+void NativeCacheManager::LruPushFront(uint32_t set, uint16_t way) {
+  Slot& s = SlotAt(set, way);
+  s.lru_prev = kNilWay;
+  s.lru_next = set_head_[set];
+  if (set_head_[set] != kNilWay) {
+    SlotAt(set, set_head_[set]).lru_prev = way;
+  }
+  set_head_[set] = way;
+  if (set_tail_[set] == kNilWay) {
+    set_tail_[set] = way;
+  }
+}
+
+void NativeCacheManager::MetadataUpdate() {
+  if (options_.mode != Mode::kWriteBack || !options_.persist_metadata) {
+    return;
+  }
+  if (++pending_metadata_ < options_.metadata_batch) {
+    return;
+  }
+  pending_metadata_ = 0;
+  // One page of packed dirty-block metadata to the reserved region.
+  const uint64_t page =
+      slots_.size() + metadata_cursor_ % kMetadataRegionPages;
+  ++metadata_cursor_;
+  ssd_->Write(page, /*token=*/metadata_cursor_);
+  ++stats_.metadata_writes;
+}
+
+Status NativeCacheManager::WriteBackSlot(uint32_t set, uint16_t way) {
+  Slot& s = SlotAt(set, way);
+  assert(s.state == SlotState::kDirty);
+  uint64_t token = 0;
+  if (Status rs = ssd_->Read(SsdPageOf(set, way), &token); !IsOk(rs)) {
+    return rs;
+  }
+  if (Status ds = disk_->Write(s.lbn, token); !IsOk(ds)) {
+    return ds;
+  }
+  s.state = SlotState::kClean;
+  --set_dirty_[set];
+  --dirty_total_;
+  ++stats_.writebacks;
+  MetadataUpdate();
+  return Status::kOk;
+}
+
+Status NativeCacheManager::AllocateWay(uint32_t set, uint16_t* way) {
+  const uint64_t base = static_cast<uint64_t>(set) * options_.associativity;
+  for (uint16_t w = 0; w < options_.associativity; ++w) {
+    if (slots_[base + w].state == SlotState::kFree) {
+      *way = w;
+      return Status::kOk;
+    }
+  }
+  // Evict the set's LRU entry.
+  const uint16_t victim = set_tail_[set];
+  if (victim == kNilWay) {
+    return Status::kNoSpace;
+  }
+  Slot& s = SlotAt(set, victim);
+  if (s.state == SlotState::kDirty) {
+    if (Status st = WriteBackSlot(set, victim); !IsOk(st)) {
+      return st;
+    }
+  }
+  ssd_->Trim(SsdPageOf(set, victim));
+  LruUnlink(set, victim);
+  s = Slot{};
+  --occupied_;
+  ++stats_.evicts;
+  MetadataUpdate();
+  *way = victim;
+  return Status::kOk;
+}
+
+Status NativeCacheManager::InsertBlock(Lbn lbn, uint64_t token, bool dirty) {
+  const uint32_t set = SetOf(lbn);
+  uint16_t way = FindWay(set, lbn);
+  if (way == kNilWay) {
+    if (Status s = AllocateWay(set, &way); !IsOk(s)) {
+      return s;
+    }
+    Slot& s = SlotAt(set, way);
+    s.lbn = lbn;
+    s.state = SlotState::kClean;
+    ++occupied_;
+    LruPushFront(set, way);
+  } else {
+    LruUnlink(set, way);
+    LruPushFront(set, way);
+  }
+  Slot& s = SlotAt(set, way);
+  s.checksum = token;
+  if (Status ws = ssd_->Write(SsdPageOf(set, way), token); !IsOk(ws)) {
+    return ws;
+  }
+  if (dirty && s.state != SlotState::kDirty) {
+    s.state = SlotState::kDirty;
+    ++set_dirty_[set];
+    ++dirty_total_;
+    MetadataUpdate();
+  } else if (!dirty && s.state == SlotState::kDirty) {
+    // Overwrite of a dirty block with clean contents (fill after write-back).
+    s.state = SlotState::kClean;
+    --set_dirty_[set];
+    --dirty_total_;
+    MetadataUpdate();
+  }
+  if (dirty &&
+      set_dirty_[set] >
+          static_cast<uint16_t>(static_cast<double>(options_.associativity) *
+                                options_.dirty_threshold)) {
+    return CleanSet(set);
+  }
+  return Status::kOk;
+}
+
+Status NativeCacheManager::CleanSet(uint32_t set) {
+  // Write back the set's dirty blocks oldest-first, merging address-contiguous
+  // victims into sequential disk writes (FlashCache behaviour).
+  const auto limit = static_cast<uint16_t>(static_cast<double>(options_.associativity) *
+                                           options_.dirty_threshold / 2.0);
+  std::vector<std::pair<Lbn, uint16_t>> dirty;  // (lbn, way)
+  const uint64_t base = static_cast<uint64_t>(set) * options_.associativity;
+  for (uint16_t w = 0; w < options_.associativity; ++w) {
+    if (slots_[base + w].state == SlotState::kDirty) {
+      dirty.emplace_back(slots_[base + w].lbn, w);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  size_t i = 0;
+  while (set_dirty_[set] > limit && i < dirty.size()) {
+    // Collect a contiguous run starting at i.
+    size_t j = i + 1;
+    while (j < dirty.size() && dirty[j].first == dirty[j - 1].first + 1 &&
+           j - i < options_.max_clean_run) {
+      ++j;
+    }
+    std::vector<uint64_t> tokens;
+    tokens.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      uint64_t token = 0;
+      if (Status s = ssd_->Read(SsdPageOf(set, dirty[k].second), &token); !IsOk(s)) {
+        return s;
+      }
+      tokens.push_back(token);
+    }
+    if (Status s = disk_->WriteRun(dirty[i].first, tokens); !IsOk(s)) {
+      return s;
+    }
+    for (size_t k = i; k < j; ++k) {
+      Slot& slot = slots_[base + dirty[k].second];
+      slot.state = SlotState::kClean;
+      --set_dirty_[set];
+      --dirty_total_;
+      ++stats_.writebacks;
+      MetadataUpdate();
+    }
+    i = j;
+  }
+  return Status::kOk;
+}
+
+Status NativeCacheManager::Read(Lbn lbn, uint64_t* token) {
+  ++stats_.reads;
+  const uint32_t set = SetOf(lbn);
+  const uint16_t way = FindWay(set, lbn);
+  if (way != kNilWay) {
+    ++stats_.read_hits;
+    LruUnlink(set, way);
+    LruPushFront(set, way);
+    return ssd_->Read(SsdPageOf(set, way), token);
+  }
+  ++stats_.read_misses;
+  uint64_t fetched = 0;
+  if (Status s = disk_->Read(lbn, &fetched); !IsOk(s)) {
+    return s;
+  }
+  if (Status s = InsertBlock(lbn, fetched, /*dirty=*/false); !IsOk(s)) {
+    return s;
+  }
+  if (token != nullptr) {
+    *token = fetched;
+  }
+  return Status::kOk;
+}
+
+Status NativeCacheManager::Write(Lbn lbn, uint64_t token) {
+  ++stats_.writes;
+  if (options_.mode == Mode::kWriteThrough) {
+    if (Status s = disk_->Write(lbn, token); !IsOk(s)) {
+      return s;
+    }
+    return InsertBlock(lbn, token, /*dirty=*/false);
+  }
+  return InsertBlock(lbn, token, /*dirty=*/true);
+}
+
+Status NativeCacheManager::FlushAll() {
+  for (uint32_t set = 0; set < sets_; ++set) {
+    const uint64_t base = static_cast<uint64_t>(set) * options_.associativity;
+    for (uint16_t w = 0; w < options_.associativity; ++w) {
+      if (slots_[base + w].state == SlotState::kDirty) {
+        if (Status s = WriteBackSlot(set, w); !IsOk(s)) {
+          return s;
+        }
+      }
+    }
+  }
+  return Status::kOk;
+}
+
+size_t NativeCacheManager::HostMemoryUsage() const {
+  return slots_.capacity() * sizeof(Slot) +
+         (set_head_.capacity() + set_tail_.capacity() + set_dirty_.capacity()) *
+             sizeof(uint16_t);
+}
+
+uint64_t NativeCacheManager::RecoveryEstimateUs() const {
+  // The manager's table must be reloaded from the SSD's metadata region:
+  // 22 bytes per cached block, read as 4 KB pages.
+  const uint64_t bytes = occupied_ * 22;
+  const uint64_t pages = bytes / 4096 + 1;
+  return pages * ssd_->device().timings().ReadCostUs();
+}
+
+}  // namespace flashtier

@@ -1,0 +1,178 @@
+#include "src/cache/write_back.h"
+
+#include <algorithm>
+
+namespace flashtier {
+
+WriteBackManager::WriteBackManager(SscDevice* ssc, DiskModel* disk, const Options& options)
+    : ssc_(ssc),
+      disk_(disk),
+      options_(options),
+      threshold_blocks_(std::max<uint64_t>(
+          1, static_cast<uint64_t>(static_cast<double>(ssc->capacity_pages()) *
+                                   options.dirty_threshold))),
+      dirty_table_(threshold_blocks_ + threshold_blocks_ / 4) {}
+
+Status WriteBackManager::Read(Lbn lbn, uint64_t* token) {
+  ++stats_.reads;
+  Status s = ssc_->Read(lbn, token);
+  if (IsOk(s)) {
+    ++stats_.read_hits;
+    return s;
+  }
+  if (s != Status::kNotPresent) {
+    return s;
+  }
+  ++stats_.read_misses;
+  uint64_t fetched = 0;
+  if (Status ds = disk_->Read(lbn, &fetched); !IsOk(ds)) {
+    return ds;
+  }
+  if (Status cs = ssc_->WriteClean(lbn, fetched); !IsOk(cs) && cs != Status::kNoSpace) {
+    return cs;
+  }
+  if (token != nullptr) {
+    *token = fetched;
+  }
+  return Status::kOk;
+}
+
+Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
+  ++stats_.writes;
+  Status s = ssc_->WriteDirty(lbn, token);
+  // The SSC can run out of physical space with the dirty table still under
+  // threshold (sparsely-used erase blocks hold fewer cached pages than their
+  // capacity). Clean LRU runs — making blocks evictable — and retry.
+  for (int attempt = 0; s == Status::kNoSpace && attempt < 8; ++attempt) {
+    const Lbn victim = dirty_table_.LruBlock();
+    if (victim == kInvalidLbn) {
+      break;
+    }
+    if (Status cs = CleanRun(victim); !IsOk(cs)) {
+      return cs;
+    }
+    s = ssc_->WriteDirty(lbn, token);
+  }
+  if (s == Status::kNoSpace) {
+    // Write-around: the cache has no evictable space at all. Put the newest
+    // data on disk and make sure no stale copy can ever surface.
+    if (Status ds = disk_->Write(lbn, token); !IsOk(ds)) {
+      return ds;
+    }
+    if (Status es = ssc_->Evict(lbn); !IsOk(es)) {
+      return es;
+    }
+    dirty_table_.Erase(lbn);
+    ++stats_.evicts;
+    return Status::kOk;
+  }
+  if (!IsOk(s)) {
+    return s;
+  }
+  dirty_table_.Touch(lbn);
+  if (options_.verify_checksums) {
+    checksums_[lbn] = token;
+  }
+  if (dirty_table_.size() > threshold_blocks_) {
+    return CleanToThreshold();
+  }
+  return Status::kOk;
+}
+
+Status WriteBackManager::CleanRun(Lbn seed) {
+  // Grow a contiguous dirty run around the seed; merged runs become one
+  // sequential disk write (Section 4.4: "prioritizes cleaning of contiguous
+  // dirty blocks, which can be merged together").
+  Lbn start = seed;
+  while (start > 0 && seed - (start - 1) < options_.max_clean_run &&
+         dirty_table_.Contains(start - 1)) {
+    --start;
+  }
+  Lbn end = seed;  // inclusive
+  while (end - start + 1 < options_.max_clean_run && dirty_table_.Contains(end + 1)) {
+    ++end;
+  }
+
+  std::vector<uint64_t> tokens;
+  tokens.reserve(end - start + 1);
+  for (Lbn lbn = start; lbn <= end; ++lbn) {
+    uint64_t token = 0;
+    if (Status s = ssc_->Read(lbn, &token); !IsOk(s)) {
+      return Status::kCorrupt;  // the table says dirty, the SSC must have it
+    }
+    if (options_.verify_checksums) {
+      const auto it = checksums_.find(lbn);
+      if (it != checksums_.end() && it->second != token) {
+        ++checksum_failures_;
+        return Status::kCorrupt;
+      }
+    }
+    tokens.push_back(token);
+  }
+  if (Status s = disk_->WriteRun(start, tokens); !IsOk(s)) {
+    return s;
+  }
+  for (Lbn lbn = start; lbn <= end; ++lbn) {
+    if (options_.explicit_eviction) {
+      // Section 4.2.1 variant: once the data is safely on disk, remove it
+      // from the cache immediately instead of leaving it clean-and-cached.
+      if (Status s = ssc_->Evict(lbn); !IsOk(s)) {
+        return s;
+      }
+      ++stats_.evicts;
+    } else {
+      if (Status s = ssc_->Clean(lbn); !IsOk(s)) {
+        return s;
+      }
+      ++stats_.cleans;
+    }
+    dirty_table_.Erase(lbn);
+    checksums_.erase(lbn);
+    ++stats_.writebacks;
+  }
+  return Status::kOk;
+}
+
+Status WriteBackManager::CleanToThreshold() {
+  // Hysteresis: clean down to 90% of the threshold so every write does not
+  // pay a cleaning pass.
+  const uint64_t target = threshold_blocks_ - threshold_blocks_ / 10;
+  while (dirty_table_.size() > target) {
+    const Lbn victim = dirty_table_.LruBlock();
+    if (victim == kInvalidLbn) {
+      break;
+    }
+    if (Status s = CleanRun(victim); !IsOk(s)) {
+      return s;
+    }
+  }
+  return Status::kOk;
+}
+
+Status WriteBackManager::FlushAll() {
+  while (dirty_table_.size() > 0) {
+    const Lbn victim = dirty_table_.LruBlock();
+    if (Status s = CleanRun(victim); !IsOk(s)) {
+      return s;
+    }
+  }
+  return Status::kOk;
+}
+
+uint64_t WriteBackManager::RecoverDirtyTable() {
+  std::vector<Lbn> dirty;
+  ssc_->ForEachCached([&dirty](Lbn lbn, bool is_dirty) {
+    if (is_dirty) {
+      dirty.push_back(lbn);
+    }
+  });
+  // Oldest-first information is gone after a crash; insert in address order
+  // (the LRU order rebuilds as requests arrive).
+  std::sort(dirty.begin(), dirty.end());
+  for (Lbn lbn : dirty) {
+    dirty_table_.Touch(lbn);
+  }
+  return 0;  // charged on the virtual clock by ForEachCached
+}
+
+}  // namespace flashtier

@@ -1,0 +1,47 @@
+#include "src/cache/write_through.h"
+
+namespace flashtier {
+
+Status WriteThroughManager::Read(Lbn lbn, uint64_t* token) {
+  ++stats_.reads;
+  Status s = ssc_->Read(lbn, token);
+  if (IsOk(s)) {
+    ++stats_.read_hits;
+    return s;
+  }
+  if (s != Status::kNotPresent) {
+    return s;
+  }
+  ++stats_.read_misses;
+  uint64_t fetched = 0;
+  if (Status ds = disk_->Read(lbn, &fetched); !IsOk(ds)) {
+    return ds;
+  }
+  // Populate the cache with the miss; if the SSC is out of space the miss
+  // still succeeds from disk.
+  if (Status cs = ssc_->WriteClean(lbn, fetched); !IsOk(cs) && cs != Status::kNoSpace) {
+    return cs;
+  }
+  if (token != nullptr) {
+    *token = fetched;
+  }
+  return Status::kOk;
+}
+
+Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
+  ++stats_.writes;
+  if (Status ds = disk_->Write(lbn, token); !IsOk(ds)) {
+    return ds;
+  }
+  Status cs = ssc_->WriteClean(lbn, token);
+  if (cs == Status::kNoSpace) {
+    // Could not cache the new version: the old one, if any, must go (the
+    // manager "must either evict the old data from the SSC or write the new
+    // data to it", Section 3.1).
+    ++stats_.evicts;
+    cs = ssc_->Evict(lbn);
+  }
+  return cs;
+}
+
+}  // namespace flashtier

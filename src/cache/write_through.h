@@ -1,0 +1,37 @@
+// Write-through FlashTier cache manager (Sections 3.1 and 4.4).
+//
+// The manager stores *no* per-block host state: it consults the SSC on every
+// read (misses are cheap — an in-memory map lookup on the device) and sends
+// every write to both the disk and the SSC with write-clean. Because all
+// cached data is clean, the SSC may silently evict anything, and after a
+// crash the manager can use the cache immediately with no recovery work.
+
+#ifndef FLASHTIER_CACHE_WRITE_THROUGH_H_
+#define FLASHTIER_CACHE_WRITE_THROUGH_H_
+
+#include "src/cache/cache_manager.h"
+#include "src/disk/disk_model.h"
+#include "src/ssc/ssc_device.h"
+
+namespace flashtier {
+
+class WriteThroughManager final : public CacheManager {
+ public:
+  WriteThroughManager(SscDevice* ssc, DiskModel* disk) : ssc_(ssc), disk_(disk) {}
+
+  Status Read(Lbn lbn, uint64_t* token) override;
+  Status Write(Lbn lbn, uint64_t token) override;
+
+  // "The manager stores no data about cached blocks" — Section 4.4.
+  size_t HostMemoryUsage() const override { return 0; }
+  const ManagerStats& stats() const override { return stats_; }
+
+ private:
+  SscDevice* ssc_;
+  DiskModel* disk_;
+  ManagerStats stats_;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_CACHE_WRITE_THROUGH_H_

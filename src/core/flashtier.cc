@@ -1,0 +1,80 @@
+#include "src/core/flashtier.h"
+
+namespace flashtier {
+
+std::string SystemTypeName(SystemType type) {
+  switch (type) {
+    case SystemType::kNativeWriteBack:
+      return "Native-WB";
+    case SystemType::kNativeWriteThrough:
+      return "Native-WT";
+    case SystemType::kSscWriteThrough:
+      return "SSC-WT";
+    case SystemType::kSscWriteBack:
+      return "SSC-WB";
+    case SystemType::kSscRWriteThrough:
+      return "SSC-R-WT";
+    case SystemType::kSscRWriteBack:
+      return "SSC-R-WB";
+  }
+  return "unknown";
+}
+
+bool SystemUsesSsc(SystemType type) {
+  return type != SystemType::kNativeWriteBack && type != SystemType::kNativeWriteThrough;
+}
+
+bool SystemIsWriteBack(SystemType type) {
+  return type == SystemType::kNativeWriteBack || type == SystemType::kSscWriteBack ||
+         type == SystemType::kSscRWriteBack;
+}
+
+FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
+  disk_ = std::make_unique<DiskModel>(config.disk, &clock_);
+
+  if (SystemUsesSsc(config.type)) {
+    SscConfig ssc_config;
+    ssc_config.capacity_pages = config.cache_pages;
+    ssc_config.policy = (config.type == SystemType::kSscRWriteThrough ||
+                         config.type == SystemType::kSscRWriteBack)
+                            ? EvictionPolicy::kSeMerge
+                            : EvictionPolicy::kSeUtil;
+    ssc_config.mode = config.consistency;
+    ssc_config.timings = config.timings;
+    ssc_ = std::make_unique<SscDevice>(ssc_config, &clock_);
+
+    if (SystemIsWriteBack(config.type)) {
+      WriteBackManager::Options opts;
+      opts.dirty_threshold = config.dirty_threshold;
+      auto manager = std::make_unique<WriteBackManager>(ssc_.get(), disk_.get(), opts);
+      wb_manager_ = manager.get();
+      manager_ = std::move(manager);
+    } else {
+      manager_ = std::make_unique<WriteThroughManager>(ssc_.get(), disk_.get());
+    }
+    return;
+  }
+
+  SsdFtl::Options ssd_opts;
+  ssd_opts.timings = config.timings;
+  ssd_ = std::make_unique<SsdFtl>(
+      config.cache_pages + NativeCacheManager::kMetadataRegionPages, &clock_, ssd_opts);
+  NativeCacheManager::Options opts;
+  opts.mode = SystemIsWriteBack(config.type) ? NativeCacheManager::Mode::kWriteBack
+                                             : NativeCacheManager::Mode::kWriteThrough;
+  opts.persist_metadata = config.native_persist_metadata;
+  opts.dirty_threshold = config.dirty_threshold;
+  auto manager =
+      std::make_unique<NativeCacheManager>(ssd_.get(), disk_.get(), config.cache_pages, opts);
+  native_manager_ = manager.get();
+  manager_ = std::move(manager);
+}
+
+size_t FlashTierSystem::DeviceMemoryUsage() const {
+  if (ssc_ != nullptr) {
+    return ssc_->DeviceMemoryUsage();
+  }
+  return ssd_->DeviceMemoryUsage();
+}
+
+}  // namespace flashtier

@@ -1,0 +1,81 @@
+// FlashTier system facade: assembles a cache manager, a caching device (SSC
+// or SSD), and a disk into one simulated storage system, in any of the
+// configurations the paper evaluates.
+
+#ifndef FLASHTIER_CORE_FLASHTIER_H_
+#define FLASHTIER_CORE_FLASHTIER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cache/cache_manager.h"
+#include "src/cache/native.h"
+#include "src/cache/write_back.h"
+#include "src/cache/write_through.h"
+#include "src/disk/disk_model.h"
+#include "src/ssc/ssc_device.h"
+#include "src/ssd/ssd_ftl.h"
+
+namespace flashtier {
+
+// The five systems of Figure 3 (plus a native write-through for tests).
+enum class SystemType {
+  kNativeWriteBack,   // FlashCache manager + SSD ("Native")
+  kNativeWriteThrough,
+  kSscWriteThrough,   // FlashTier, SE-Util SSC
+  kSscWriteBack,
+  kSscRWriteThrough,  // FlashTier, SE-Merge SSC-R
+  kSscRWriteBack,
+};
+
+std::string SystemTypeName(SystemType type);
+bool SystemUsesSsc(SystemType type);
+bool SystemIsWriteBack(SystemType type);
+
+struct SystemConfig {
+  SystemType type = SystemType::kSscWriteBack;
+  uint64_t cache_pages = 0;  // 4 KB blocks of cache capacity
+  ConsistencyMode consistency = ConsistencyMode::kFull;
+  double dirty_threshold = 0.20;
+  DiskParams disk;
+  FlashTimings timings;
+  // Native-D metadata persistence (write-back native only).
+  bool native_persist_metadata = true;
+};
+
+// Owns every component of one simulated storage system.
+class FlashTierSystem {
+ public:
+  explicit FlashTierSystem(const SystemConfig& config);
+
+  CacheManager& manager() { return *manager_; }
+  SimClock& clock() { return clock_; }
+  DiskModel& disk() { return *disk_; }
+
+  // Null unless the configuration uses that device.
+  SscDevice* ssc() { return ssc_.get(); }
+  SsdFtl* ssd() { return ssd_.get(); }
+  WriteBackManager* write_back_manager() { return wb_manager_; }
+  NativeCacheManager* native_manager() { return native_manager_; }
+
+  const SystemConfig& config() const { return config_; }
+
+  // Total device-resident mapping memory (Table 4 "Device" column).
+  size_t DeviceMemoryUsage() const;
+  // Host-resident cache-manager memory (Table 4 "Host" column).
+  size_t HostMemoryUsage() const { return manager_->HostMemoryUsage(); }
+
+ private:
+  SystemConfig config_;
+  SimClock clock_;
+  std::unique_ptr<DiskModel> disk_;
+  std::unique_ptr<SscDevice> ssc_;
+  std::unique_ptr<SsdFtl> ssd_;
+  std::unique_ptr<CacheManager> manager_;
+  WriteBackManager* wb_manager_ = nullptr;
+  NativeCacheManager* native_manager_ = nullptr;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_CORE_FLASHTIER_H_

@@ -1,0 +1,59 @@
+#include "src/core/replay.h"
+
+namespace flashtier {
+
+uint64_t ReplayEngine::ExpectedToken(Lbn lbn) const {
+  const auto it = oracle_.find(lbn);
+  return it != oracle_.end() ? it->second : DiskModel::OriginalToken(lbn);
+}
+
+ReplayMetrics ReplayEngine::Run(TraceSource& source) {
+  metrics_ = ReplayMetrics{};
+  const uint64_t total = options_.max_requests != 0
+                             ? options_.max_requests
+                             : (source.size_hint() != 0 ? source.size_hint() : ~uint64_t{0});
+  const auto warmup = static_cast<uint64_t>(static_cast<double>(total) *
+                                            options_.warmup_fraction);
+  SimClock& clock = system_->clock();
+  CacheManager& manager = system_->manager();
+
+  uint64_t seq = 0;
+  TraceRecord record;
+  while (seq < total && source.Next(&record)) {
+    const bool measured = seq >= warmup;
+    const uint64_t start_us = clock.now_us();
+    if (record.op == TraceOp::kWrite) {
+      const uint64_t token = (record.lbn << 20) ^ seq;
+      if (!IsOk(manager.Write(record.lbn, token))) {
+        ++metrics_.failed_requests;
+      } else if (options_.verify) {
+        oracle_[record.lbn] = token;
+      }
+      if (measured) {
+        ++metrics_.writes;
+      }
+    } else {
+      uint64_t token = 0;
+      if (!IsOk(manager.Read(record.lbn, &token))) {
+        ++metrics_.failed_requests;
+      } else if (options_.verify && token != ExpectedToken(record.lbn)) {
+        ++metrics_.stale_reads;
+      }
+      if (measured) {
+        ++metrics_.reads;
+      }
+    }
+    if (measured) {
+      ++metrics_.requests;
+      metrics_.elapsed_us += clock.now_us() - start_us;
+      metrics_.response_us.Add(clock.now_us() - start_us);
+    } else {
+      ++metrics_.warmup_requests;
+    }
+    ++seq;
+  }
+  source.Rewind();
+  return metrics_;
+}
+
+}  // namespace flashtier

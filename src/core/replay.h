@@ -1,0 +1,71 @@
+// Trace replay engine and end-to-end metrics.
+//
+// Replay is closed-loop over virtual time: each request is issued when the
+// previous one completes, and its response time is the virtual time the
+// system components charged while serving it. IOPS = requests / elapsed
+// virtual seconds, the paper's performance metric (Figures 3, 4, 6).
+//
+// The engine optionally verifies correctness as it replays: it tracks the
+// newest token written to each block and checks that every read returns it —
+// a stale read anywhere in the cache hierarchy fails the run.
+
+#ifndef FLASHTIER_CORE_REPLAY_H_
+#define FLASHTIER_CORE_REPLAY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/core/flashtier.h"
+#include "src/trace/trace.h"
+#include "src/util/stats.h"
+
+namespace flashtier {
+
+struct ReplayMetrics {
+  uint64_t requests = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t elapsed_us = 0;       // virtual time spent in the measured phase
+  uint64_t warmup_requests = 0;  // replayed before measurement began
+  uint64_t stale_reads = 0;      // correctness violations (must be 0)
+  uint64_t failed_requests = 0;  // manager returned an error (must be 0)
+  LatencyHistogram response_us;
+
+  double Iops() const {
+    return elapsed_us == 0 ? 0.0
+                           : static_cast<double>(requests) * 1e6 /
+                                 static_cast<double>(elapsed_us);
+  }
+  double MeanResponseUs() const { return response_us.mean(); }
+};
+
+class ReplayEngine {
+ public:
+  struct Options {
+    double warmup_fraction = 0.0;  // fraction of the trace replayed unmeasured
+    bool verify = false;           // oracle-check every read
+    uint64_t max_requests = 0;     // 0 = whole trace
+  };
+
+  ReplayEngine(FlashTierSystem* system, const Options& options)
+      : system_(system), options_(options) {}
+  explicit ReplayEngine(FlashTierSystem* system) : ReplayEngine(system, Options{}) {}
+
+  // Replays the source to completion; returns metrics for the measured phase.
+  // The token for a write is derived deterministically from (lbn, sequence).
+  ReplayMetrics Run(TraceSource& source);
+
+  const ReplayMetrics& metrics() const { return metrics_; }
+
+ private:
+  uint64_t ExpectedToken(Lbn lbn) const;
+
+  FlashTierSystem* system_;
+  Options options_;
+  ReplayMetrics metrics_;
+  std::unordered_map<Lbn, uint64_t> oracle_;  // newest token per block
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_CORE_REPLAY_H_

@@ -1,0 +1,57 @@
+#include "src/disk/disk_model.h"
+
+namespace flashtier {
+
+uint64_t DiskModel::EstimateUs(Lbn lbn, uint32_t blocks, bool sequential_hint) const {
+  uint64_t us = static_cast<uint64_t>(blocks) * params_.transfer_us_per_4k;
+  const bool sequential =
+      sequential_hint || (next_sequential_ != kInvalidLbn && lbn >= next_sequential_ &&
+                          lbn - next_sequential_ < params_.seq_window_blocks);
+  if (sequential) {
+    us += params_.track_seek_us / 4;  // head settle only
+  } else {
+    us += params_.avg_seek_us + params_.avg_rotation_us;
+  }
+  const uint32_t spindles = params_.spindles == 0 ? 1 : params_.spindles;
+  return spindles == 1 ? us : us / spindles + 1;
+}
+
+void DiskModel::Charge(Lbn lbn, uint32_t blocks, bool is_write) {
+  const uint64_t us = EstimateUs(lbn, blocks, /*sequential_hint=*/false);
+  clock_->Advance(us);
+  stats_.busy_us += us;
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  next_sequential_ = lbn + blocks;
+}
+
+Status DiskModel::Read(Lbn lbn, uint64_t* token) {
+  Charge(lbn, 1, /*is_write=*/false);
+  if (token != nullptr) {
+    const auto it = contents_.find(lbn);
+    *token = it != contents_.end() ? it->second : OriginalToken(lbn);
+  }
+  return Status::kOk;
+}
+
+Status DiskModel::Write(Lbn lbn, uint64_t token) {
+  Charge(lbn, 1, /*is_write=*/true);
+  contents_[lbn] = token;
+  return Status::kOk;
+}
+
+Status DiskModel::WriteRun(Lbn start, const std::vector<uint64_t>& tokens) {
+  if (tokens.empty()) {
+    return Status::kInvalidArgument;
+  }
+  Charge(start, static_cast<uint32_t>(tokens.size()), /*is_write=*/true);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    contents_[start + i] = tokens[i];
+  }
+  return Status::kOk;
+}
+
+}  // namespace flashtier

@@ -1,0 +1,199 @@
+#include "src/flash/flash_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace flashtier {
+
+FlashDevice::FlashDevice(const FlashGeometry& geometry, const FlashTimings& timings,
+                         SimClock* clock, bool store_data)
+    : geometry_(geometry),
+      timings_(timings),
+      clock_(clock),
+      store_data_(store_data),
+      pages_(geometry.TotalPages()),
+      blocks_(geometry.TotalBlocks()) {}
+
+Status FlashDevice::ProgramPage(PhysBlock block, const OobRecord& oob, uint64_t token,
+                                const uint8_t* data, Ppn* ppn) {
+  if (block >= blocks_.size()) {
+    return Status::kInvalidArgument;
+  }
+  Block& b = blocks_[block];
+  if (b.next_page >= geometry_.pages_per_block) {
+    return Status::kNoSpace;
+  }
+  const Ppn p = geometry_.FirstPpnOf(block) + b.next_page;
+  ++b.next_page;
+  ++b.valid_pages;
+  Page& page = pages_[p];
+  page.state = PageState::kValid;
+  page.oob = oob;
+  page.oob.seq = next_seq_++;
+  page.token = token;
+  if (store_data_ && data != nullptr) {
+    data_[p].assign(data, data + geometry_.page_size);
+  }
+  ++stats_.page_writes;
+  Charge(timings_.WriteCostUs());
+  if (ppn != nullptr) {
+    *ppn = p;
+  }
+  return Status::kOk;
+}
+
+Status FlashDevice::ReadPage(Ppn ppn, uint64_t* token, OobRecord* oob_out, uint8_t* data) {
+  if (ppn >= pages_.size()) {
+    return Status::kInvalidArgument;
+  }
+  const Page& page = pages_[ppn];
+  if (page.state == PageState::kFree) {
+    return Status::kIoError;
+  }
+  if (token != nullptr) {
+    *token = page.token;
+  }
+  if (oob_out != nullptr) {
+    *oob_out = page.oob;
+  }
+  if (data != nullptr) {
+    const auto it = data_.find(ppn);
+    if (it != data_.end()) {
+      std::memcpy(data, it->second.data(), geometry_.page_size);
+    } else {
+      std::memset(data, 0, geometry_.page_size);
+    }
+  }
+  ++stats_.page_reads;
+  Charge(timings_.ReadCostUs());
+  return Status::kOk;
+}
+
+Status FlashDevice::ReadOob(Ppn ppn, OobRecord* oob_out) {
+  if (ppn >= pages_.size()) {
+    return Status::kInvalidArgument;
+  }
+  const Page& page = pages_[ppn];
+  if (oob_out != nullptr) {
+    *oob_out = page.oob;
+  }
+  ++stats_.oob_reads;
+  Charge(timings_.OobReadCostUs());
+  return page.state == PageState::kFree ? Status::kIoError : Status::kOk;
+}
+
+Status FlashDevice::MarkInvalid(Ppn ppn) {
+  if (ppn >= pages_.size()) {
+    return Status::kInvalidArgument;
+  }
+  Page& page = pages_[ppn];
+  if (page.state != PageState::kValid) {
+    return Status::kInvalidArgument;
+  }
+  page.state = PageState::kInvalid;
+  Block& b = blocks_[geometry_.BlockOf(ppn)];
+  --b.valid_pages;
+  return Status::kOk;
+}
+
+Status FlashDevice::MarkValid(Ppn ppn) {
+  if (ppn >= pages_.size()) {
+    return Status::kInvalidArgument;
+  }
+  Page& page = pages_[ppn];
+  if (page.state != PageState::kInvalid) {
+    return Status::kInvalidArgument;
+  }
+  page.state = PageState::kValid;
+  ++blocks_[geometry_.BlockOf(ppn)].valid_pages;
+  return Status::kOk;
+}
+
+Status FlashDevice::SkipPage(PhysBlock block) {
+  if (block >= blocks_.size()) {
+    return Status::kInvalidArgument;
+  }
+  Block& b = blocks_[block];
+  if (b.next_page >= geometry_.pages_per_block) {
+    return Status::kNoSpace;
+  }
+  ++b.next_page;
+  return Status::kOk;
+}
+
+Status FlashDevice::EraseBlock(PhysBlock block) {
+  if (block >= blocks_.size()) {
+    return Status::kInvalidArgument;
+  }
+  Block& b = blocks_[block];
+  const Ppn first = geometry_.FirstPpnOf(block);
+  for (uint32_t i = 0; i < b.next_page; ++i) {
+    Page& page = pages_[first + i];
+    page.state = PageState::kFree;
+    page.oob = OobRecord{};
+    page.token = 0;
+    if (store_data_) {
+      data_.erase(first + i);
+    }
+  }
+  b.next_page = 0;
+  b.valid_pages = 0;
+  ++b.erase_count;
+  ++stats_.erases;
+  Charge(timings_.EraseCostUs());
+  return Status::kOk;
+}
+
+Status FlashDevice::CopyPage(Ppn src, PhysBlock dst_block, Ppn* dst_ppn) {
+  if (src >= pages_.size() || dst_block >= blocks_.size()) {
+    return Status::kInvalidArgument;
+  }
+  Page& src_page = pages_[src];
+  if (src_page.state != PageState::kValid) {
+    return Status::kInvalidArgument;
+  }
+  Block& db = blocks_[dst_block];
+  if (db.next_page >= geometry_.pages_per_block) {
+    return Status::kNoSpace;
+  }
+  const Ppn dst = geometry_.FirstPpnOf(dst_block) + db.next_page;
+  ++db.next_page;
+  ++db.valid_pages;
+  Page& dst_page = pages_[dst];
+  dst_page.state = PageState::kValid;
+  dst_page.oob = src_page.oob;  // the copied page is the same logical version
+  dst_page.token = src_page.token;
+  if (store_data_) {
+    const auto it = data_.find(src);
+    if (it != data_.end()) {
+      data_[dst] = it->second;
+    }
+  }
+  src_page.state = PageState::kInvalid;
+  --blocks_[geometry_.BlockOf(src)].valid_pages;
+  if (store_data_) {
+    data_.erase(src);
+  }
+  ++stats_.gc_copies;
+  Charge(timings_.CopyCostUs());
+  if (dst_ppn != nullptr) {
+    *dst_ppn = dst;
+  }
+  return Status::kOk;
+}
+
+uint32_t FlashDevice::MaxWearDiff() const {
+  uint32_t lo = blocks_.empty() ? 0 : blocks_[0].erase_count;
+  uint32_t hi = lo;
+  for (const Block& b : blocks_) {
+    lo = std::min(lo, b.erase_count);
+    hi = std::max(hi, b.erase_count);
+  }
+  return hi - lo;
+}
+
+size_t FlashDevice::MemoryUsage() const {
+  return pages_.capacity() * sizeof(Page) + blocks_.capacity() * sizeof(Block);
+}
+
+}  // namespace flashtier

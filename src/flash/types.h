@@ -1,0 +1,32 @@
+// Basic address types shared by the flash, FTL, SSC and cache layers.
+
+#ifndef FLASHTIER_FLASH_TYPES_H_
+#define FLASHTIER_FLASH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace flashtier {
+
+// Logical block number: a 4 KB block address in the *disk's* address space.
+// FlashTier's unified address space means the SSC is addressed directly with
+// these (Section 3.2), so they can be very large and very sparse.
+using Lbn = uint64_t;
+
+// Physical page number within a flash device: dense, device-assigned.
+using Ppn = uint64_t;
+
+// Physical erase-block number within a flash device.
+using PhysBlock = uint32_t;
+
+// Logical erase-block number: LBN divided by pages-per-erase-block. The
+// hybrid FTLs map these at 256 KB granularity.
+using LogicalBlock = uint64_t;
+
+inline constexpr Ppn kInvalidPpn = std::numeric_limits<Ppn>::max();
+inline constexpr PhysBlock kInvalidBlock = std::numeric_limits<PhysBlock>::max();
+inline constexpr Lbn kInvalidLbn = std::numeric_limits<Lbn>::max();
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_FLASH_TYPES_H_

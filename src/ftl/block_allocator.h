@@ -1,0 +1,61 @@
+// Free erase-block management shared by the SSD and SSC FTLs.
+//
+// Tracks per-plane free lists and implements wear-aware allocation: among the
+// free blocks of the chosen plane, the one with the lowest erase count is
+// handed out, which is the wear-leveling policy whose effect Table 5's "wear
+// diff" column measures. Plane choice balances free space (the paper's
+// inter-plane copy support exists so GC can keep planes balanced).
+
+#ifndef FLASHTIER_FTL_BLOCK_ALLOCATOR_H_
+#define FLASHTIER_FTL_BLOCK_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/flash/flash_device.h"
+#include "src/flash/geometry.h"
+#include "src/flash/types.h"
+
+namespace flashtier {
+
+class BlockAllocator {
+ public:
+  // All blocks of the device start free except those in [0, reserved), which
+  // the caller keeps for fixed regions (SSC checkpoint/log areas).
+  BlockAllocator(const FlashDevice& device, uint32_t reserved_blocks);
+
+  // Allocates the lowest-wear free block of the plane with the most free
+  // blocks. Returns kInvalidBlock if nothing is free.
+  PhysBlock Allocate();
+
+  // Allocates from a specific plane; kInvalidBlock if that plane is empty.
+  PhysBlock AllocateFromPlane(uint32_t plane);
+
+  // Allocates the *most*-worn free block (wear-leveling destination: cold
+  // data parked on worn blocks stops their wear).
+  PhysBlock AllocateMostWorn();
+
+  // Returns an erased block to the free pool.
+  void Free(PhysBlock block);
+
+  uint32_t FreeCount() const { return free_total_; }
+  uint32_t FreeInPlane(uint32_t plane) const {
+    return static_cast<uint32_t>(free_[plane].size());
+  }
+  // Plane with the fewest free blocks (GC target selection).
+  uint32_t FullestPlane() const;
+  uint32_t PlaneCount() const { return static_cast<uint32_t>(free_.size()); }
+
+  size_t MemoryUsage() const;
+
+ private:
+  PhysBlock PopLowestWear(uint32_t plane);
+
+  const FlashDevice& device_;
+  std::vector<std::vector<PhysBlock>> free_;  // per plane
+  uint32_t free_total_ = 0;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_FTL_BLOCK_ALLOCATOR_H_

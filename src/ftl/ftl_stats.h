@@ -1,0 +1,40 @@
+// Counters shared by both FTLs; these back Table 5 and Figure 6.
+
+#ifndef FLASHTIER_FTL_FTL_STATS_H_
+#define FLASHTIER_FTL_FTL_STATS_H_
+
+#include <cstdint>
+
+namespace flashtier {
+
+struct FtlStats {
+  // Host-visible operations.
+  uint64_t host_reads = 0;
+  uint64_t host_writes = 0;
+  uint64_t host_read_misses = 0;  // reads answered "not present" (SSC only)
+
+  // Reclamation activity.
+  uint64_t gc_invocations = 0;
+  uint64_t full_merges = 0;
+  uint64_t partial_merges = 0;
+  uint64_t switch_merges = 0;
+  uint64_t silent_evictions = 0;        // blocks reclaimed without copying
+  uint64_t silently_evicted_pages = 0;  // valid pages dropped by silent eviction
+
+  // Write amplification = (all flash page programs, including GC copies and
+  // metadata) / host page writes - 1 would be "extra writes per block"; the
+  // paper's Table 5 reports extra writes per block, e.g. 2.30 means each
+  // block written once by the host was written 2.30 *additional* times.
+  double ExtraWritesPerBlock(uint64_t device_page_writes, uint64_t device_gc_copies) const {
+    if (host_writes == 0) {
+      return 0.0;
+    }
+    const uint64_t total = device_page_writes + device_gc_copies;
+    const double amp = static_cast<double>(total) / static_cast<double>(host_writes);
+    return amp > 1.0 ? amp - 1.0 : 0.0;
+  }
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_FTL_FTL_STATS_H_

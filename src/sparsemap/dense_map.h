@@ -1,0 +1,83 @@
+// Dense, linear mapping table — the baseline SSD's translation structure.
+//
+// A conventional SSD exposes an address space the same size as its capacity
+// and keeps a linear table indexed by logical address (Section 6.3: "The
+// native system SSD stores a dense mapping translating from SSD logical block
+// address space to physical flash addresses"). Memory cost is proportional to
+// the address-space size whether or not entries are used, which is exactly
+// the property the SSC's sparse map avoids.
+
+#ifndef FLASHTIER_SPARSEMAP_DENSE_MAP_H_
+#define FLASHTIER_SPARSEMAP_DENSE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/flash/types.h"
+
+namespace flashtier {
+
+template <typename V>
+class DenseMap {
+ public:
+  DenseMap() = default;
+  DenseMap(size_t slots, const V& empty) : empty_(empty), slots_(slots, empty) {}
+
+  void Reset(size_t slots, const V& empty) {
+    empty_ = empty;
+    slots_.assign(slots, empty);
+    size_ = 0;
+  }
+
+  size_t slot_count() const { return slots_.size(); }
+  size_t size() const { return size_; }
+
+  bool Occupied(size_t i) const { return !(slots_[i] == empty_); }
+
+  // Returns nullptr if the slot holds the empty sentinel.
+  V* Find(size_t i) {
+    if (i >= slots_.size() || !Occupied(i)) {
+      return nullptr;
+    }
+    return &slots_[i];
+  }
+  const V* Find(size_t i) const { return const_cast<DenseMap*>(this)->Find(i); }
+
+  bool Insert(size_t i, const V& v) {
+    const bool fresh = !Occupied(i);
+    slots_[i] = v;
+    if (fresh) {
+      ++size_;
+    }
+    return fresh;
+  }
+
+  bool Erase(size_t i) {
+    if (i >= slots_.size() || !Occupied(i)) {
+      return false;
+    }
+    slots_[i] = empty_;
+    --size_;
+    return true;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (Occupied(i)) {
+        fn(i, slots_[i]);
+      }
+    }
+  }
+
+  size_t MemoryUsage() const { return slots_.capacity() * sizeof(V); }
+
+ private:
+  V empty_{};
+  std::vector<V> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_SPARSEMAP_DENSE_MAP_H_

@@ -1,0 +1,89 @@
+#include "src/ssc/persist.h"
+
+namespace flashtier {
+
+PersistenceManager::PersistenceManager(const Options& options, const FlashTimings& timings,
+                                       SimClock* clock)
+    : options_(options), timings_(timings), clock_(clock) {}
+
+void PersistenceManager::ChargeWrites(uint64_t pages) {
+  stats_.log_page_writes += pages;
+  clock_->Advance(pages * timings_.WriteCostUs());
+}
+
+void PersistenceManager::ChargeReads(uint64_t pages, uint64_t* recovery_us) {
+  const uint64_t us = pages * timings_.ReadCostUs();
+  clock_->Advance(us);
+  *recovery_us += us;
+}
+
+void PersistenceManager::Append(const LogRecord& record, bool sync) {
+  if (options_.mode == ConsistencyMode::kNone) {
+    return;
+  }
+  buffer_.push_back(record);
+  ++stats_.records_logged;
+  if (sync) {
+    ++stats_.sync_commits;
+    Flush();
+  } else if (buffer_.size() >= options_.group_commit_ops) {
+    ++stats_.group_commits;
+    Flush();
+  }
+}
+
+void PersistenceManager::Flush() {
+  if (buffer_.empty()) {
+    return;
+  }
+  // The whole batch becomes durable atomically (atomic-write primitive [33]).
+  // Small synchronous batches use a sub-page atomic write; large group
+  // commits stream whole pages.
+  const uint64_t bytes = buffer_.size() * kRecordBytes;
+  if (bytes <= options_.page_size) {
+    ++stats_.log_page_writes;
+    clock_->Advance(timings_.atomic_write_us);
+  } else {
+    ChargeWrites(PagesFor(bytes));
+  }
+  durable_log_.insert(durable_log_.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+}
+
+void PersistenceManager::WriteCheckpoint(std::vector<CheckpointEntry> entries) {
+  // Entries reflect device RAM, which is ahead of (or equal to) everything in
+  // the buffer, so buffered records are subsumed by the checkpoint.
+  checkpoint_lsn_ = next_lsn_ - 1;
+  checkpoint_entry_count_ = entries.size();
+  durable_checkpoint_ = std::move(entries);
+  ChargeWrites(PagesFor(checkpoint_entry_count_ * kCheckpointEntryBytes));
+  durable_log_.clear();
+  buffer_.clear();
+  writes_since_checkpoint_ = 0;
+  ++stats_.checkpoints;
+  stats_.checkpoint_page_writes += PagesFor(checkpoint_entry_count_ * kCheckpointEntryBytes);
+}
+
+void PersistenceManager::Crash() {
+  stats_.records_lost_in_crash += buffer_.size();
+  buffer_.clear();
+}
+
+void PersistenceManager::Recover(std::vector<CheckpointEntry>* checkpoint,
+                                 std::vector<LogRecord>* log_tail) {
+  uint64_t recovery_us = 0;
+  ChargeReads(PagesFor(durable_checkpoint_.size() * kCheckpointEntryBytes), &recovery_us);
+  ChargeReads(PagesFor(durable_log_.size() * kRecordBytes), &recovery_us);
+  *checkpoint = durable_checkpoint_;
+  log_tail->clear();
+  for (const LogRecord& r : durable_log_) {
+    if (r.lsn > checkpoint_lsn_) {
+      log_tail->push_back(r);
+    }
+  }
+  stats_.last_recovery_us = recovery_us;
+  stats_.recovered_checkpoint_entries = durable_checkpoint_.size();
+  stats_.replayed_log_records = log_tail->size();
+}
+
+}  // namespace flashtier

@@ -1,0 +1,172 @@
+// SSC durability machinery: operation log, group commit, checkpoints
+// (Section 4.2.2 of the paper).
+//
+// The SSC persists its sparse mapping with a combination of:
+//   * an operation log: one record per mapping insert/remove (and per clean
+//     state change), flushed to a dedicated flash region either synchronously
+//     (write-dirty, evict) or by asynchronous group commit (write-clean,
+//     clean) every `group_commit_ops` buffered records;
+//   * periodic checkpoints of the forward mapping, written to one of two
+//     dedicated regions (alternating) whenever the log grows beyond
+//     two-thirds of the checkpoint size or after a fixed number of writes;
+//   * roll-forward recovery: load the latest checkpoint, then replay log
+//     records with LSNs after the checkpoint.
+//
+// The log and checkpoint regions bypass address translation, so their
+// contents are modeled here directly ("durable" staging buffers) while their
+// media costs — page programs on flush, page reads on recovery — are charged
+// to the shared virtual clock using the device timings. Synchronous commits
+// use the atomic-write primitive the paper imports from Beyond Block I/O
+// [33], so a flushed batch is all-or-nothing.
+
+#ifndef FLASHTIER_SSC_PERSIST_H_
+#define FLASHTIER_SSC_PERSIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/flash/timing.h"
+#include "src/flash/types.h"
+
+namespace flashtier {
+
+enum class ConsistencyMode : uint8_t {
+  kNone,          // no-consistency baseline of Figure 4
+  kRelaxedClean,  // FlashTier-D: write-clean inserts buffered; overwrites sync
+  kFull,          // FlashTier-C/D: clean and dirty both logged synchronously
+};
+
+enum class LogOpType : uint8_t {
+  kInsertPage,       // lbn -> ppn page-level mapping added
+  kRemovePage,       // page-level mapping removed
+  kInsertBlock,      // logical erase block -> physical block mapping added
+  kRemoveBlock,      // block-level mapping removed
+  kClearBlockPages,  // presence+dirty bits cleared within a block-level entry
+  kSetCleanPage,     // page-level dirty flag cleared (buffered; may be lost)
+  kSetCleanBlocks,   // block-level dirty bits cleared (buffered; may be lost)
+};
+
+struct LogRecord {
+  uint64_t lsn = 0;
+  LogOpType type = LogOpType::kInsertPage;
+  Lbn key = 0;          // lbn (page-level) or logical erase block (block-level)
+  Ppn ppn = kInvalidPpn;
+  uint64_t present_bits = 0;  // block-level: which in-block offsets are cached
+  uint64_t dirty_bits = 0;    // page: 0/1; block: 64-bit dirty bitmap or mask
+};
+
+// One serialized forward-map entry inside a checkpoint.
+struct CheckpointEntry {
+  bool block_level = false;
+  Lbn key = 0;
+  Ppn ppn = kInvalidPpn;        // page-level: page; block-level: first ppn of block
+  uint64_t present_bits = 0;
+  uint64_t dirty_bits = 0;
+};
+
+struct PersistStats {
+  uint64_t records_logged = 0;
+  uint64_t sync_commits = 0;
+  uint64_t group_commits = 0;
+  uint64_t log_page_writes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_page_writes = 0;
+  uint64_t records_lost_in_crash = 0;
+  uint64_t last_recovery_us = 0;
+  uint64_t recovered_checkpoint_entries = 0;
+  uint64_t replayed_log_records = 0;
+};
+
+class PersistenceManager {
+ public:
+  struct Options {
+    ConsistencyMode mode = ConsistencyMode::kFull;
+    uint32_t group_commit_ops = 10'000;      // Section 6.4 configuration
+    double checkpoint_log_ratio = 2.0 / 3.0; // checkpoint when log > ratio * ckpt
+    uint64_t checkpoint_interval_writes = 1'000'000;
+    uint32_t page_size = 4096;
+  };
+
+  PersistenceManager(const Options& options, const FlashTimings& timings, SimClock* clock);
+
+  ConsistencyMode mode() const { return options_.mode; }
+  const PersistStats& stats() const { return stats_; }
+
+  uint64_t NextLsn() { return next_lsn_++; }
+
+  // Appends a record; `sync` forces an immediate atomic flush. In kNone mode
+  // records are dropped (nothing is persisted and nothing is charged).
+  void Append(const LogRecord& record, bool sync);
+
+  // Flushes all buffered records to the durable log region.
+  void Flush();
+
+  // Called by the SSC after mutating writes; triggers a checkpoint when the
+  // log-size or write-count policy says so. `entries` is only materialized
+  // when a checkpoint actually happens, via the callback.
+  template <typename EntriesFn>
+  void MaybeCheckpoint(EntriesFn&& entries_fn) {
+    if (options_.mode == ConsistencyMode::kNone) {
+      return;
+    }
+    ++writes_since_checkpoint_;
+    const uint64_t log_bytes = (durable_log_.size() + buffer_.size()) * kRecordBytes;
+    const uint64_t ckpt_bytes = checkpoint_entry_count_ * kCheckpointEntryBytes;
+    const bool log_too_long =
+        ckpt_bytes > 0
+            ? static_cast<double>(log_bytes) >
+                  options_.checkpoint_log_ratio * static_cast<double>(ckpt_bytes)
+            : log_bytes > kInitialCheckpointTriggerBytes;
+    if (!log_too_long && writes_since_checkpoint_ < options_.checkpoint_interval_writes) {
+      return;
+    }
+    WriteCheckpoint(entries_fn());
+  }
+
+  void WriteCheckpoint(std::vector<CheckpointEntry> entries);
+
+  // Power failure: everything buffered in device RAM is lost; durable state
+  // is untouched.
+  void Crash();
+
+  // Roll-forward recovery: reads the checkpoint and the log tail (charging
+  // media reads), then hands back the reconstructed stream. The returned log
+  // records all have LSN > checkpoint LSN and are in commit order.
+  void Recover(std::vector<CheckpointEntry>* checkpoint, std::vector<LogRecord>* log_tail);
+
+  uint64_t durable_log_records() const { return durable_log_.size(); }
+  uint64_t buffered_records() const { return buffer_.size(); }
+
+  size_t MemoryUsage() const { return buffer_.capacity() * sizeof(LogRecord); }
+
+ private:
+  // On-flash record sizes (packed): lsn + key + ppn + present + dirty + type.
+  static constexpr uint64_t kRecordBytes = 8 + 8 + 8 + 8 + 8 + 1;
+  static constexpr uint64_t kCheckpointEntryBytes = 8 + 8 + 8 + 8 + 1;
+  // Before the first checkpoint exists, checkpoint once the log reaches 4 MB.
+  static constexpr uint64_t kInitialCheckpointTriggerBytes = 4ull << 20;
+
+  uint64_t PagesFor(uint64_t bytes) const {
+    return (bytes + options_.page_size - 1) / options_.page_size;
+  }
+  void ChargeWrites(uint64_t pages);
+  void ChargeReads(uint64_t pages, uint64_t* recovery_us);
+
+  Options options_;
+  FlashTimings timings_;
+  SimClock* clock_;
+
+  std::vector<LogRecord> buffer_;        // device RAM, lost on crash
+  std::vector<LogRecord> durable_log_;   // on flash, since last checkpoint
+  std::vector<CheckpointEntry> durable_checkpoint_;
+  uint64_t checkpoint_lsn_ = 0;          // highest LSN covered by checkpoint
+  uint64_t checkpoint_entry_count_ = 0;
+  uint64_t writes_since_checkpoint_ = 0;
+  uint64_t next_lsn_ = 1;
+  PersistStats stats_;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_SSC_PERSIST_H_

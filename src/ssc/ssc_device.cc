@@ -1,0 +1,1020 @@
+#include "src/ssc/ssc_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flashtier {
+
+namespace {
+// Spare erase blocks beyond nominal capacity: merge transients need a free
+// destination block while both source and destination exist. This is not
+// over-provisioned *capacity* (the SSC exposes none, Section 3.3) — it is the
+// small internal slack any FTL needs to make forward progress.
+constexpr uint32_t kSpareBlocks = 8;
+constexpr uint32_t kMinFreeBlocks = 2;
+}  // namespace
+
+SscDevice::SscDevice(const SscConfig& config, SimClock* clock)
+    : config_(config), clock_(clock) {
+  const FlashGeometry& probe = config.geometry;
+  const uint64_t capacity_blocks =
+      (config.capacity_pages + probe.pages_per_block - 1) / probe.pages_per_block;
+  FlashGeometry geometry = FlashGeometry::ForCapacity(
+      (capacity_blocks + kSpareBlocks) * probe.EraseBlockBytes(), probe);
+  device_ = std::make_unique<FlashDevice>(geometry, config.timings, clock);
+  allocator_ = std::make_unique<BlockAllocator>(*device_, /*reserved_blocks=*/0);
+  PersistenceManager::Options popts;
+  popts.mode = config.mode;
+  popts.group_commit_ops = config.group_commit_ops;
+  popts.checkpoint_interval_writes = config.checkpoint_interval_writes;
+  popts.page_size = geometry.page_size;
+  persist_ = std::make_unique<PersistenceManager>(popts, config.timings, clock);
+  phys_to_logical_.assign(geometry.TotalBlocks(), kInvalidLbn);
+  block_birth_.assign(geometry.TotalBlocks(), 0);
+}
+
+uint32_t SscDevice::LogBlockLimit() const {
+  const uint32_t ppb = device_->geometry().pages_per_block;
+  const uint64_t capacity_blocks = (config_.capacity_pages + ppb - 1) / ppb;
+  const double fraction = config_.policy == EvictionPolicy::kSeUtil
+                              ? config_.log_fraction
+                              : config_.max_log_fraction;
+  return std::max<uint32_t>(
+      2, static_cast<uint32_t>(static_cast<double>(capacity_blocks) * fraction));
+}
+
+// ---------------------------------------------------------------------------
+// Host interface
+// ---------------------------------------------------------------------------
+
+Status SscDevice::Read(Lbn lbn, uint64_t* token) {
+  ++ftl_stats_.host_reads;
+  if (const uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
+    return device_->ReadPage(PackedPpn(*packed), token, nullptr, nullptr);
+  }
+  const uint32_t ppb = device_->geometry().pages_per_block;
+  if (BlockEntry* e = block_map_.Find(lbn / ppb); e != nullptr) {
+    const uint32_t off = static_cast<uint32_t>(lbn % ppb);
+    if ((e->present_bits >> off) & 1u) {
+      ++e->access_count;
+      return device_->ReadPage(device_->geometry().FirstPpnOf(e->phys) + off, token, nullptr,
+                               nullptr);
+    }
+  }
+  ++ftl_stats_.host_read_misses;
+  clock_->Advance(config_.timings.control_us);  // in-memory lookup + reply
+  return Status::kNotPresent;
+}
+
+Status SscDevice::WriteDirty(Lbn lbn, uint64_t token) {
+  return WriteInternal(lbn, token, /*dirty=*/true);
+}
+
+Status SscDevice::WriteClean(Lbn lbn, uint64_t token) {
+  return WriteInternal(lbn, token, /*dirty=*/false);
+}
+
+Status SscDevice::WriteInternal(Lbn lbn, uint64_t token, bool dirty) {
+  ++ftl_stats_.host_writes;
+  if (Status s = EnsureFreeBlocks(kMinFreeBlocks); !IsOk(s)) {
+    return s;
+  }
+  if (Status s = EnsureActiveLogBlock(); !IsOk(s)) {
+    return s;
+  }
+
+  const bool had_old = InvalidateOldVersion(lbn);
+
+  const PhysBlock active = log_blocks_.back();
+  OobRecord oob;
+  oob.lbn = lbn;
+  oob.flags = dirty ? 1 : 0;
+  Ppn ppn = kInvalidPpn;
+  if (Status s = device_->ProgramPage(active, oob, token, nullptr, &ppn); !IsOk(s)) {
+    return s;
+  }
+  page_map_.Insert(lbn, Pack(ppn, dirty));
+  log_contents_[active].push_back(lbn);
+  ++cached_pages_;  // InvalidateOldVersion decremented it if this is an overwrite
+  if (dirty) {
+    ++dirty_pages_;
+  }
+
+  // Section 4.2.1: write-dirty commits synchronously (G1); write-clean may be
+  // buffered unless it replaces previous data at the same address, in which
+  // case the mapping change must be durable before completion (G2). In kFull
+  // mode clean inserts are also synchronous (the FlashTier-C/D config).
+  LogRecord rec;
+  rec.lsn = persist_->NextLsn();
+  rec.type = LogOpType::kInsertPage;
+  rec.key = lbn;
+  rec.ppn = ppn;
+  rec.dirty_bits = dirty ? 1 : 0;
+  const bool sync = dirty || had_old || config_.mode == ConsistencyMode::kFull;
+  persist_->Append(rec, sync);
+  persist_->MaybeCheckpoint([this] { return SnapshotForCheckpoint(); });
+  return Status::kOk;
+}
+
+bool SscDevice::InvalidateOldVersion(Lbn lbn) {
+  if (const uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
+    const Ppn old = PackedPpn(*packed);
+    if (PackedDirty(*packed)) {
+      --dirty_pages_;
+    }
+    device_->MarkInvalid(old);
+    page_map_.Erase(lbn);
+    LogRecord rec;
+    rec.lsn = persist_->NextLsn();
+    rec.type = LogOpType::kRemovePage;
+    rec.key = lbn;
+    persist_->Append(rec, /*sync=*/false);
+    --cached_pages_;
+    return true;
+  }
+  const uint32_t ppb = device_->geometry().pages_per_block;
+  const uint64_t logical = lbn / ppb;
+  const uint32_t off = static_cast<uint32_t>(lbn % ppb);
+  BlockEntry* e = block_map_.Find(logical);
+  if (e == nullptr || ((e->present_bits >> off) & 1u) == 0) {
+    return false;
+  }
+  device_->MarkInvalid(device_->geometry().FirstPpnOf(e->phys) + off);
+  if ((e->dirty_bits >> off) & 1u) {
+    --dirty_pages_;
+  }
+  e->present_bits &= ~(uint64_t{1} << off);
+  e->dirty_bits &= ~(uint64_t{1} << off);
+  --cached_pages_;
+  LogRecord rec;
+  rec.lsn = persist_->NextLsn();
+  rec.type = LogOpType::kClearBlockPages;
+  rec.key = logical;
+  rec.dirty_bits = uint64_t{1} << off;  // mask of bits cleared
+  persist_->Append(rec, /*sync=*/false);
+  if (e->present_bits == 0) {
+    const PhysBlock phys = e->phys;
+    block_map_.Erase(logical);
+    LogRecord rm;
+    rm.lsn = persist_->NextLsn();
+    rm.type = LogOpType::kRemoveBlock;
+    rm.key = logical;
+    persist_->Append(rm, /*sync=*/false);
+    phys_to_logical_[phys] = kInvalidLbn;
+    dead_blocks_.push_back(phys);
+  }
+  return true;
+}
+
+Status SscDevice::Evict(Lbn lbn) {
+  const bool had = InvalidateOldVersion(lbn);
+  if (had) {
+    // Eviction is durable before the request completes (G3).
+    persist_->Flush();
+  }
+  return Status::kOk;
+}
+
+Status SscDevice::Clean(Lbn lbn) {
+  if (uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
+    if (PackedDirty(*packed)) {
+      *packed = Pack(PackedPpn(*packed), false);
+      --dirty_pages_;
+      LogRecord rec;
+      rec.lsn = persist_->NextLsn();
+      rec.type = LogOpType::kSetCleanPage;
+      rec.key = lbn;
+      persist_->Append(rec, /*sync=*/false);
+    }
+    return Status::kOk;
+  }
+  const uint32_t ppb = device_->geometry().pages_per_block;
+  const uint64_t logical = lbn / ppb;
+  const uint32_t off = static_cast<uint32_t>(lbn % ppb);
+  BlockEntry* e = block_map_.Find(logical);
+  if (e == nullptr || ((e->present_bits >> off) & 1u) == 0) {
+    return Status::kNotPresent;
+  }
+  if ((e->dirty_bits >> off) & 1u) {
+    e->dirty_bits &= ~(uint64_t{1} << off);
+    --dirty_pages_;
+    LogRecord rec;
+    rec.lsn = persist_->NextLsn();
+    rec.type = LogOpType::kSetCleanBlocks;
+    rec.key = logical;
+    rec.dirty_bits = uint64_t{1} << off;  // mask of bits cleared
+    persist_->Append(rec, /*sync=*/false);
+  }
+  return Status::kOk;
+}
+
+void SscDevice::Exists(Lbn start, uint64_t count, Bitmap* dirty_out) {
+  dirty_out->Resize(count);
+  clock_->Advance(config_.timings.control_us);  // served from device memory
+  const uint32_t ppb = device_->geometry().pages_per_block;
+  for (uint64_t i = 0; i < count; ++i) {
+    const Lbn lbn = start + i;
+    if (const uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
+      if (PackedDirty(*packed)) {
+        dirty_out->Set(i);
+      }
+      continue;
+    }
+    if (const BlockEntry* e = block_map_.Find(lbn / ppb); e != nullptr) {
+      const uint32_t off = static_cast<uint32_t>(lbn % ppb);
+      if (((e->present_bits >> off) & 1u) != 0 && ((e->dirty_bits >> off) & 1u) != 0) {
+        dirty_out->Set(i);
+      }
+    }
+  }
+}
+
+void SscDevice::ExistsDetail(Lbn start, uint64_t count, std::vector<BlockInfo>* out) {
+  out->assign(count, BlockInfo{});
+  clock_->Advance(config_.timings.control_us);  // served from device memory
+  const uint32_t ppb = device_->geometry().pages_per_block;
+  for (uint64_t i = 0; i < count; ++i) {
+    const Lbn lbn = start + i;
+    BlockInfo& info = (*out)[i];
+    if (const uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
+      info.present = true;
+      info.dirty = PackedDirty(*packed);
+      info.access_frequency = 1;  // page-mapped: written at least once recently
+      continue;
+    }
+    if (const BlockEntry* e = block_map_.Find(lbn / ppb); e != nullptr) {
+      const uint32_t off = static_cast<uint32_t>(lbn % ppb);
+      if ((e->present_bits >> off) & 1u) {
+        info.present = true;
+        info.dirty = ((e->dirty_bits >> off) & 1u) != 0;
+        info.access_frequency = e->access_count;
+      }
+    }
+  }
+}
+
+uint32_t SscDevice::BackgroundCollect(uint64_t budget_us) {
+  const uint64_t deadline = clock_->now_us() + budget_us;
+  uint32_t reclaimed = 0;
+  while (clock_->now_us() < deadline) {
+    if (ReclaimDeadBlock()) {
+      ++reclaimed;
+      continue;
+    }
+    const uint64_t free_before = allocator_->FreeCount();
+    if (!CollectFullestPlane()) {
+      break;  // nothing evictable; don't burn idle time copying
+    }
+    reclaimed += static_cast<uint32_t>(allocator_->FreeCount() - free_before);
+  }
+  return reclaimed;
+}
+
+bool SscDevice::WearLevelOnce(uint32_t max_wear_diff) {
+  if (device_->MaxWearDiff() <= max_wear_diff) {
+    return false;
+  }
+  // Move the data block sitting on the least-worn flash (statistically the
+  // coldest) onto the most-worn free block, retiring the young block into
+  // the allocation pool where it will absorb future erases.
+  PhysBlock coldest = kInvalidBlock;
+  uint32_t coldest_wear = ~0u;
+  for (PhysBlock b = 0; b < device_->geometry().TotalBlocks(); ++b) {
+    if (phys_to_logical_[b] != kInvalidLbn && device_->erase_count(b) < coldest_wear) {
+      coldest_wear = device_->erase_count(b);
+      coldest = b;
+    }
+  }
+  if (coldest == kInvalidBlock) {
+    return false;
+  }
+  const PhysBlock destination = allocator_->AllocateMostWorn();
+  if (destination == kInvalidBlock) {
+    return false;
+  }
+  if (device_->erase_count(destination) <= coldest_wear + max_wear_diff) {
+    allocator_->Free(destination);  // spread is not where we can fix it
+    return false;
+  }
+  return IsOk(RelocateDataBlock(coldest, phys_to_logical_[coldest], destination));
+}
+
+Status SscDevice::RelocateDataBlock(PhysBlock phys, uint64_t logical, PhysBlock destination) {
+  BlockEntry* e = block_map_.Find(logical);
+  if (e == nullptr || e->phys != phys) {
+    allocator_->Free(destination);
+    return Status::kInvalidArgument;
+  }
+  const FlashGeometry& g = device_->geometry();
+  const uint32_t ppb = g.pages_per_block;
+  for (uint32_t off = 0; off < ppb; ++off) {
+    if (((e->present_bits >> off) & 1u) == 0) {
+      device_->SkipPage(destination);
+      continue;
+    }
+    if (Status s = device_->CopyPage(g.FirstPpnOf(phys) + off, destination, nullptr);
+        !IsOk(s)) {
+      return s;
+    }
+  }
+  InstallDataBlock(logical, destination, e->present_bits, e->dirty_bits);
+  return Status::kOk;
+}
+
+void SscDevice::ChargeExistsScan() {
+  // Model the scan as batched exists commands, one per 64 Ki blocks of the
+  // cached footprint; each is a device-RAM lookup plus a command round trip.
+  const uint64_t calls = cached_pages_ / 65536 + 1;
+  clock_->Advance(calls * config_.timings.control_us);
+}
+
+// ---------------------------------------------------------------------------
+// Free space management (Section 4.3)
+// ---------------------------------------------------------------------------
+
+bool SscDevice::ReclaimDeadBlock() {
+  if (dead_blocks_.empty()) {
+    return false;
+  }
+  // Blocks with no live data: erase lazily. Mapping removals that made them
+  // dead must be durable before the space is reused.
+  persist_->Flush();
+  const PhysBlock b = dead_blocks_.front();
+  dead_blocks_.pop_front();
+  device_->EraseBlock(b);
+  allocator_->Free(b);
+  return true;
+}
+
+Status SscDevice::EnsureFreeBlocks(uint32_t want) {
+  // Bound the loop: every iteration either frees a block or fails.
+  for (uint32_t attempt = 0; attempt < device_->geometry().TotalBlocks() + 4; ++attempt) {
+    if (allocator_->FreeCount() >= want) {
+      return Status::kOk;
+    }
+    if (ReclaimDeadBlock()) {
+      continue;
+    }
+    if (CollectFullestPlane()) {
+      continue;
+    }
+    if (log_blocks_.size() > 1) {
+      if (Status s = MergeOldestLogBlock(); !IsOk(s)) {
+        return s;
+      }
+      continue;
+    }
+    return Status::kNoSpace;
+  }
+  return Status::kNoSpace;
+}
+
+Status SscDevice::EnsureActiveLogBlock() {
+  if (!log_blocks_.empty() && !device_->BlockFull(log_blocks_.back())) {
+    return Status::kOk;
+  }
+  if (log_blocks_.size() >= LogBlockLimit()) {
+    if (Status s = MergeOldestLogBlock(); !IsOk(s)) {
+      return s;
+    }
+  }
+  PhysBlock block = allocator_->Allocate();
+  if (block == kInvalidBlock) {
+    if (Status s = EnsureFreeBlocks(1); !IsOk(s)) {
+      return s;
+    }
+    block = allocator_->Allocate();
+    if (block == kInvalidBlock) {
+      return Status::kNoSpace;
+    }
+  }
+  log_blocks_.push_back(block);
+  log_contents_[block].clear();
+  return Status::kOk;
+}
+
+bool SscDevice::CollectFullestPlane() {
+  const FlashGeometry& g = device_->geometry();
+  const uint32_t planes = g.planes;
+  const uint32_t first = allocator_->FullestPlane();
+  for (uint32_t step = 0; step < planes; ++step) {
+    const uint32_t plane = (first + step) % planes;
+    // Gather clean (fully evictable) data blocks in this plane with their
+    // utilization; silent eviction picks the least-utilized (SE-Util victim
+    // policy, also used for victim choice by SE-Merge).
+    std::vector<std::pair<uint32_t, PhysBlock>> candidates;  // (valid pages, block)
+    uint64_t birth_sum = 0;
+    for (uint32_t i = 0; i < g.blocks_per_plane; ++i) {
+      const PhysBlock b = g.BlockAt(plane, i);
+      const Lbn logical = phys_to_logical_[b];
+      if (logical == kInvalidLbn) {
+        continue;
+      }
+      const BlockEntry* e = block_map_.Find(logical);
+      if (e != nullptr && e->dirty_bits == 0) {
+        candidates.emplace_back(device_->valid_pages(b), b);
+        birth_sum += block_birth_[b];
+      }
+    }
+    if (candidates.empty()) {
+      continue;
+    }
+    // Age-aware SE-Util: freshly-merged blocks are sparse *because they are
+    // young*, not because their data is stale. Prefer victims older than the
+    // candidate-average birth; fall back to all candidates if that leaves
+    // nothing (Section 4.1's eviction-guiding usage statistics).
+    const uint64_t birth_cutoff = birth_sum / candidates.size();
+    std::vector<std::pair<uint32_t, PhysBlock>> aged;
+    for (const auto& c : candidates) {
+      if (block_birth_[c.second] <= birth_cutoff) {
+        aged.push_back(c);
+      }
+    }
+    if (!aged.empty()) {
+      candidates.swap(aged);
+    }
+    ++ftl_stats_.gc_invocations;
+    std::sort(candidates.begin(), candidates.end());
+    const size_t k = std::min<size_t>(config_.gc_victims_per_cycle, candidates.size());
+    for (size_t i = 0; i < k; ++i) {
+      SilentlyEvict(candidates[i].second, phys_to_logical_[candidates[i].second]);
+    }
+    return true;
+  }
+  return false;
+}
+
+void SscDevice::SilentlyEvict(PhysBlock phys, uint64_t logical) {
+  BlockEntry* e = block_map_.Find(logical);
+  assert(e != nullptr && e->phys == phys && e->dirty_bits == 0);
+  const FlashGeometry& g = device_->geometry();
+  const uint32_t ppb = g.pages_per_block;
+  const uint32_t dropped = static_cast<uint32_t>(std::popcount(e->present_bits));
+  for (uint32_t off = 0; off < ppb; ++off) {
+    if ((e->present_bits >> off) & 1u) {
+      device_->MarkInvalid(g.FirstPpnOf(phys) + off);
+    }
+  }
+  cached_pages_ -= dropped;
+  ftl_stats_.silently_evicted_pages += dropped;
+  ++ftl_stats_.silent_evictions;
+  block_map_.Erase(logical);
+  LogRecord rec;
+  rec.lsn = persist_->NextLsn();
+  rec.type = LogOpType::kRemoveBlock;
+  rec.key = logical;
+  persist_->Append(rec, /*sync=*/false);
+  phys_to_logical_[phys] = kInvalidLbn;
+  // The removal must be durable before the block's space can be reused.
+  persist_->Flush();
+  device_->EraseBlock(phys);
+  allocator_->Free(phys);
+}
+
+// ---------------------------------------------------------------------------
+// Log-block reclamation: switch / partial / full merges
+// ---------------------------------------------------------------------------
+
+void SscDevice::RetireLogPage(Lbn lbn) {
+  page_map_.Erase(lbn);
+  LogRecord rec;
+  rec.lsn = persist_->NextLsn();
+  rec.type = LogOpType::kRemovePage;
+  rec.key = lbn;
+  persist_->Append(rec, /*sync=*/false);
+}
+
+void SscDevice::LogInsertBlockEntry(uint64_t logical, const BlockEntry& e) {
+  LogRecord rec;
+  rec.lsn = persist_->NextLsn();
+  rec.type = LogOpType::kInsertBlock;
+  rec.key = logical;
+  rec.ppn = device_->geometry().FirstPpnOf(e.phys);
+  rec.present_bits = e.present_bits;
+  rec.dirty_bits = e.dirty_bits;
+  persist_->Append(rec, /*sync=*/false);
+}
+
+void SscDevice::InstallDataBlock(uint64_t logical, PhysBlock phys, uint64_t present_bits,
+                                 uint64_t dirty_bits) {
+  // The remove of the old entry and the insert of its replacement must reach
+  // the log as one atomic batch (Section 4.2.2: transient states exposing
+  // stale or missing data are not possible) — so append both *before* any
+  // flush, and only erase the old block once the batch is durable.
+  BlockEntry* old = block_map_.Find(logical);
+  PhysBlock old_phys = kInvalidBlock;
+  if (old != nullptr) {
+    old_phys = old->phys;
+    assert(device_->valid_pages(old_phys) == 0);
+    LogRecord rm;
+    rm.lsn = persist_->NextLsn();
+    rm.type = LogOpType::kRemoveBlock;
+    rm.key = logical;
+    persist_->Append(rm, /*sync=*/false);
+    phys_to_logical_[old_phys] = kInvalidLbn;
+  }
+  BlockEntry fresh;
+  fresh.phys = phys;
+  fresh.present_bits = present_bits;
+  fresh.dirty_bits = dirty_bits;
+  block_map_.Insert(logical, fresh);
+  LogInsertBlockEntry(logical, fresh);
+  phys_to_logical_[phys] = logical;
+  block_birth_[phys] = ++birth_counter_;
+  if (old_phys != kInvalidBlock) {
+    persist_->Flush();
+    device_->EraseBlock(old_phys);
+    allocator_->Free(old_phys);
+  }
+}
+
+bool SscDevice::TrySwitchOrPartialMerge(PhysBlock victim) {
+  const FlashGeometry& g = device_->geometry();
+  const uint32_t ppb = g.pages_per_block;
+  const auto it = log_contents_.find(victim);
+  if (it == log_contents_.end() || it->second.empty()) {
+    return false;
+  }
+  const std::vector<Lbn>& lpns = it->second;
+  if (lpns[0] % ppb != 0) {
+    return false;
+  }
+  const uint64_t logical = lpns[0] / ppb;
+  const Ppn base = g.FirstPpnOf(victim);
+  for (size_t i = 0; i < lpns.size(); ++i) {
+    if (lpns[i] != logical * ppb + i || device_->page_state(base + i) != PageState::kValid) {
+      return false;
+    }
+  }
+
+  uint64_t present = 0;
+  uint64_t dirty = 0;
+  // The sequential prefix: page-mapped today, block-mapped after the switch.
+  for (size_t i = 0; i < lpns.size(); ++i) {
+    const uint64_t* packed = page_map_.Find(lpns[i]);
+    assert(packed != nullptr && PackedPpn(*packed) == base + i);
+    present |= uint64_t{1} << i;
+    if (PackedDirty(*packed)) {
+      dirty |= uint64_t{1} << i;
+    }
+    RetireLogPage(lpns[i]);
+  }
+
+  const bool full = lpns.size() == ppb;
+  if (!full) {
+    // Partial merge: complete the tail from wherever the newest version of
+    // each remaining offset lives (another log block or the old data block).
+    BlockEntry* old = block_map_.Find(logical);
+    for (uint32_t off = static_cast<uint32_t>(lpns.size()); off < ppb; ++off) {
+      const Lbn lbn = logical * ppb + off;
+      Ppn src = kInvalidPpn;
+      bool src_dirty = false;
+      if (const uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
+        src = PackedPpn(*packed);
+        src_dirty = PackedDirty(*packed);
+      } else if (old != nullptr && ((old->present_bits >> off) & 1u) != 0) {
+        src = g.FirstPpnOf(old->phys) + off;
+        src_dirty = ((old->dirty_bits >> off) & 1u) != 0;
+      }
+      if (src == kInvalidPpn) {
+        device_->SkipPage(victim);
+        continue;
+      }
+      if (!IsOk(device_->CopyPage(src, victim, nullptr))) {
+        device_->SkipPage(victim);
+        continue;
+      }
+      if (page_map_.Contains(lbn)) {
+        RetireLogPage(lbn);
+      }
+      present |= uint64_t{1} << off;
+      if (src_dirty) {
+        dirty |= uint64_t{1} << off;
+      }
+    }
+    ++ftl_stats_.partial_merges;
+  } else {
+    ++ftl_stats_.switch_merges;
+  }
+
+  log_contents_.erase(victim);
+  InstallDataBlock(logical, victim, present, dirty);
+  return true;
+}
+
+Status SscDevice::MergeLogicalBlock(uint64_t logical) {
+  const FlashGeometry& g = device_->geometry();
+  const uint32_t ppb = g.pages_per_block;
+  PhysBlock fresh = allocator_->Allocate();
+  while (fresh == kInvalidBlock) {
+    // Make room without copying if we can: erase dead blocks, then silently
+    // evict clean blocks. Fail (with no side effects) only when neither works.
+    if (!ReclaimDeadBlock() && !CollectFullestPlane()) {
+      return Status::kNoSpace;
+    }
+    fresh = allocator_->Allocate();
+  }
+
+  BlockEntry* old = block_map_.Find(logical);
+  uint64_t present = 0;
+  uint64_t dirty = 0;
+  for (uint32_t off = 0; off < ppb; ++off) {
+    const Lbn lbn = logical * ppb + off;
+    Ppn src = kInvalidPpn;
+    bool src_dirty = false;
+    bool from_log = false;
+    if (const uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
+      src = PackedPpn(*packed);
+      src_dirty = PackedDirty(*packed);
+      from_log = true;
+    } else if (old != nullptr && ((old->present_bits >> off) & 1u) != 0) {
+      src = g.FirstPpnOf(old->phys) + off;
+      src_dirty = ((old->dirty_bits >> off) & 1u) != 0;
+    }
+    if (src == kInvalidPpn) {
+      device_->SkipPage(fresh);
+      continue;
+    }
+    if (Status s = device_->CopyPage(src, fresh, nullptr); !IsOk(s)) {
+      return s;
+    }
+    if (from_log) {
+      RetireLogPage(lbn);
+      old = block_map_.Find(logical);  // map may rehash on erase
+    }
+    present |= uint64_t{1} << off;
+    if (src_dirty) {
+      dirty |= uint64_t{1} << off;
+    }
+  }
+  InstallDataBlock(logical, fresh, present, dirty);
+  return Status::kOk;
+}
+
+Status SscDevice::ForwardCopyLogBlock(PhysBlock victim) {
+  // SE-Merge log reclamation (Section 4.3): instead of full merges, live log
+  // pages are copied forward to the log frontier (still page-mapped), and
+  // data blocks are only created by switch merges. Copy cost is one page per
+  // *live* page — overwrite-heavy workloads leave log victims nearly empty.
+  const FlashGeometry& g = device_->geometry();
+  const Ppn base = g.FirstPpnOf(victim);
+  const auto contents_it = log_contents_.find(victim);
+  const std::vector<Lbn> lpns =
+      contents_it != log_contents_.end() ? contents_it->second : std::vector<Lbn>{};
+  for (size_t i = 0; i < lpns.size(); ++i) {
+    if (device_->page_state(base + i) != PageState::kValid) {
+      continue;
+    }
+    const Lbn lbn = lpns[i];
+    uint64_t* packed = page_map_.Find(lbn);
+    assert(packed != nullptr && PackedPpn(*packed) == base + i);
+    const bool dirty = PackedDirty(*packed);
+    // Destination: the active log block, growing the log as needed.
+    if (log_blocks_.empty() || device_->BlockFull(log_blocks_.back())) {
+      PhysBlock fresh = allocator_->Allocate();
+      while (fresh == kInvalidBlock) {
+        if (!ReclaimDeadBlock() && !CollectFullestPlane()) {
+          return Status::kNoSpace;
+        }
+        fresh = allocator_->Allocate();
+      }
+      log_blocks_.push_back(fresh);
+      log_contents_[fresh].clear();
+    }
+    const PhysBlock active = log_blocks_.back();
+    Ppn dst = kInvalidPpn;
+    if (Status s = device_->CopyPage(base + i, active, &dst); !IsOk(s)) {
+      return s;
+    }
+    page_map_.Insert(lbn, Pack(dst, dirty));
+    log_contents_[active].push_back(lbn);
+    LogRecord rec;
+    rec.lsn = persist_->NextLsn();
+    rec.type = LogOpType::kInsertPage;
+    rec.key = lbn;
+    rec.ppn = dst;
+    rec.dirty_bits = dirty ? 1 : 0;
+    persist_->Append(rec, /*sync=*/false);
+  }
+  log_contents_.erase(victim);
+  persist_->Flush();
+  device_->EraseBlock(victim);
+  allocator_->Free(victim);
+  return Status::kOk;
+}
+
+Status SscDevice::MergeOldestLogBlock() {
+  if (log_blocks_.size() <= 1) {
+    return Status::kNoSpace;
+  }
+  ++ftl_stats_.gc_invocations;
+  const PhysBlock victim = log_blocks_.front();
+  log_blocks_.pop_front();
+
+  if (TrySwitchOrPartialMerge(victim)) {
+    return Status::kOk;
+  }
+
+  // Forward-copying pays only when most of the victim is superseded; a
+  // mostly-live victim would just rotate through the log (copying its pages
+  // to the frontier over and over), so consolidate it into data blocks
+  // instead. The log may not outgrow the fraction its page-level mappings
+  // reserved memory for (Section 5: 0-20% for SSC-R).
+  if (config_.policy == EvictionPolicy::kSeMerge &&
+      log_blocks_.size() < LogBlockLimit() &&
+      device_->valid_pages(victim) <= device_->geometry().pages_per_block / 2) {
+    const Status s = ForwardCopyLogBlock(victim);
+    if (s == Status::kNoSpace) {
+      // Could not place the remaining live pages; the victim is still a
+      // consistent log block (uncopied pages stay page-mapped into it).
+      log_blocks_.push_front(victim);
+    }
+    return s;
+  }
+
+  const FlashGeometry& g = device_->geometry();
+  const Ppn base = g.FirstPpnOf(victim);
+  std::vector<uint64_t> logicals;
+  const auto contents_it = log_contents_.find(victim);
+  if (contents_it != log_contents_.end()) {
+    const std::vector<Lbn>& lpns = contents_it->second;
+    for (size_t i = 0; i < lpns.size(); ++i) {
+      if (device_->page_state(base + i) == PageState::kValid) {
+        const uint64_t l = lpns[i] / g.pages_per_block;
+        if (std::find(logicals.begin(), logicals.end(), l) == logicals.end()) {
+          logicals.push_back(l);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < logicals.size(); ++i) {
+    if (Status s = MergeLogicalBlock(logicals[i]); !IsOk(s)) {
+      // MergeLogicalBlock fails only before copying anything (no destination
+      // block available), so the victim's remaining pages are still
+      // page-mapped and consistent: put it back and report the shortage
+      // instead of leaking it.
+      log_blocks_.push_front(victim);
+      return s;
+    }
+  }
+  if (!logicals.empty()) {
+    ++ftl_stats_.full_merges;
+  }
+
+  assert(device_->valid_pages(victim) == 0);
+  log_contents_.erase(victim);
+  persist_->Flush();
+  device_->EraseBlock(victim);
+  allocator_->Free(victim);
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Crash and recovery (Section 4.2.2)
+// ---------------------------------------------------------------------------
+
+void SscDevice::SimulateCrash() {
+  block_map_.Clear();
+  page_map_.Clear();
+  log_blocks_.clear();
+  log_contents_.clear();
+  dead_blocks_.clear();
+  phys_to_logical_.assign(device_->geometry().TotalBlocks(), kInvalidLbn);
+  block_birth_.assign(device_->geometry().TotalBlocks(), 0);
+  birth_counter_ = 0;
+  cached_pages_ = 0;
+  dirty_pages_ = 0;
+  persist_->Crash();
+}
+
+Status SscDevice::Recover() {
+  std::vector<CheckpointEntry> checkpoint;
+  std::vector<LogRecord> tail;
+  persist_->Recover(&checkpoint, &tail);
+
+  const FlashGeometry& g = device_->geometry();
+  const uint32_t ppb = g.pages_per_block;
+
+  // 1. Forward maps: checkpoint, then roll the log forward.
+  for (const CheckpointEntry& e : checkpoint) {
+    if (e.block_level) {
+      BlockEntry be;
+      be.phys = g.BlockOf(e.ppn);
+      be.present_bits = e.present_bits;
+      be.dirty_bits = e.dirty_bits;
+      block_map_.Insert(e.key, be);
+    } else {
+      page_map_.Insert(e.key, Pack(e.ppn, e.dirty_bits != 0));
+    }
+  }
+  for (const LogRecord& r : tail) {
+    switch (r.type) {
+      case LogOpType::kInsertPage:
+        page_map_.Insert(r.key, Pack(r.ppn, r.dirty_bits != 0));
+        break;
+      case LogOpType::kRemovePage:
+        page_map_.Erase(r.key);
+        break;
+      case LogOpType::kInsertBlock: {
+        BlockEntry be;
+        be.phys = g.BlockOf(r.ppn);
+        be.present_bits = r.present_bits;
+        be.dirty_bits = r.dirty_bits;
+        block_map_.Insert(r.key, be);
+        break;
+      }
+      case LogOpType::kRemoveBlock:
+        block_map_.Erase(r.key);
+        break;
+      case LogOpType::kClearBlockPages:
+        if (BlockEntry* e = block_map_.Find(r.key); e != nullptr) {
+          e->present_bits &= ~r.dirty_bits;
+          e->dirty_bits &= ~r.dirty_bits;
+          if (e->present_bits == 0) {
+            block_map_.Erase(r.key);
+          }
+        }
+        break;
+      case LogOpType::kSetCleanPage:
+        if (uint64_t* packed = page_map_.Find(r.key); packed != nullptr) {
+          *packed = Pack(PackedPpn(*packed), false);
+        }
+        break;
+      case LogOpType::kSetCleanBlocks:
+        if (BlockEntry* e = block_map_.Find(r.key); e != nullptr) {
+          e->dirty_bits &= ~r.dirty_bits;
+        }
+        break;
+    }
+  }
+
+  // 2. Reverse maps and block state, reconciled against the medium. Entries
+  // pointing at pages that never became durable are pruned; valid pages no
+  // recovered mapping references are invalidated (their inserts were lost in
+  // the crash — equivalent to a silent eviction, per Section 4.2.1).
+  std::unordered_map<PhysBlock, uint64_t> log_refs;  // block -> offset bitmap
+  std::vector<Lbn> dropped_pages;
+  page_map_.ForEach([&](Lbn lbn, uint64_t packed) {
+    const Ppn ppn = PackedPpn(packed);
+    if (device_->page_state(ppn) == PageState::kFree || device_->oob(ppn).lbn != lbn) {
+      dropped_pages.push_back(lbn);
+      return;
+    }
+    log_refs[g.BlockOf(ppn)] |= uint64_t{1} << g.PageOf(ppn);
+  });
+  for (Lbn lbn : dropped_pages) {
+    page_map_.Erase(lbn);
+  }
+
+  std::vector<uint64_t> dropped_blocks;
+  block_map_.ForEach([&](uint64_t logical, const BlockEntry& e) {
+    bool any = false;
+    for (uint32_t off = 0; off < ppb; ++off) {
+      if (((e.present_bits >> off) & 1u) != 0 &&
+          device_->page_state(g.FirstPpnOf(e.phys) + off) != PageState::kFree) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      dropped_blocks.push_back(logical);
+    }
+  });
+  for (uint64_t logical : dropped_blocks) {
+    block_map_.Erase(logical);
+  }
+  block_map_.ForEach([&](uint64_t logical, const BlockEntry& e) {
+    phys_to_logical_[e.phys] = logical;
+  });
+
+  // Rebuild allocator and per-block validity.
+  allocator_ = std::make_unique<BlockAllocator>(*device_, g.TotalBlocks());  // starts empty
+  cached_pages_ = 0;
+  dirty_pages_ = 0;
+  std::vector<std::pair<uint64_t, PhysBlock>> recovered_logs;  // (first seq, block)
+  for (PhysBlock b = 0; b < g.TotalBlocks(); ++b) {
+    const Ppn base = g.FirstPpnOf(b);
+    const uint64_t logical = phys_to_logical_[b];
+    uint64_t want = 0;
+    if (logical != kInvalidLbn) {
+      want = block_map_.Find(logical)->present_bits;
+    } else if (const auto it = log_refs.find(b); it != log_refs.end()) {
+      want = it->second;
+    }
+    if (want == 0) {
+      if (device_->BlockErased(b)) {
+        allocator_->Free(b);
+      } else {
+        dead_blocks_.push_back(b);
+      }
+      continue;
+    }
+    uint64_t min_seq = ~uint64_t{0};
+    for (uint32_t off = 0; off < device_->write_pointer(b); ++off) {
+      const bool referenced = ((want >> off) & 1u) != 0;
+      const PageState state = device_->page_state(base + off);
+      if (state == PageState::kValid && !referenced) {
+        // The insert that would have referenced this page was lost in the
+        // crash: treat it as silently evicted.
+        device_->MarkInvalid(base + off);
+      } else if (state == PageState::kInvalid && referenced) {
+        // Pre-crash RAM had superseded this page (e.g. a merge was copying
+        // it) but only the old mapping is durable; the old page is live.
+        device_->MarkValid(base + off);
+      }
+      if (referenced) {
+        min_seq = std::min(min_seq, device_->oob(base + off).seq);
+      }
+    }
+    if (logical == kInvalidLbn) {
+      recovered_logs.emplace_back(min_seq, b);
+    }
+  }
+
+  // 3. Log-block list: FIFO by program sequence; a partially-filled block (at
+  // most one under normal operation) goes to the back as the active block.
+  std::sort(recovered_logs.begin(), recovered_logs.end());
+  std::stable_partition(recovered_logs.begin(), recovered_logs.end(),
+                        [&](const auto& p) { return device_->BlockFull(p.second); });
+  for (const auto& [seq, b] : recovered_logs) {
+    log_blocks_.push_back(b);
+    std::vector<Lbn>& lpns = log_contents_[b];
+    for (uint32_t off = 0; off < device_->write_pointer(b); ++off) {
+      lpns.push_back(device_->oob(g.FirstPpnOf(b) + off).lbn);
+    }
+  }
+
+  // 4. Page counts.
+  page_map_.ForEach([&](Lbn, uint64_t packed) {
+    ++cached_pages_;
+    if (PackedDirty(packed)) {
+      ++dirty_pages_;
+    }
+  });
+  block_map_.ForEach([&](uint64_t, const BlockEntry& e) {
+    cached_pages_ += static_cast<uint64_t>(std::popcount(e.present_bits));
+    dirty_pages_ += static_cast<uint64_t>(std::popcount(e.dirty_bits));
+  });
+  return Status::kOk;
+}
+
+std::vector<CheckpointEntry> SscDevice::SnapshotForCheckpoint() const {
+  // Only forward mappings are checkpointed (Section 4.2.2); reverse maps and
+  // block state live in OOB areas and are reconstructed at recovery.
+  std::vector<CheckpointEntry> entries;
+  entries.reserve(page_map_.size() + block_map_.size());
+  page_map_.ForEach([&entries](Lbn lbn, uint64_t packed) {
+    CheckpointEntry e;
+    e.block_level = false;
+    e.key = lbn;
+    e.ppn = PackedPpn(packed);
+    e.dirty_bits = PackedDirty(packed) ? 1 : 0;
+    entries.push_back(e);
+  });
+  const FlashGeometry& g = device_->geometry();
+  block_map_.ForEach([&entries, &g](uint64_t logical, const BlockEntry& be) {
+    CheckpointEntry e;
+    e.block_level = true;
+    e.key = logical;
+    e.ppn = g.FirstPpnOf(be.phys);
+    e.present_bits = be.present_bits;
+    e.dirty_bits = be.dirty_bits;
+    entries.push_back(e);
+  });
+  return entries;
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting (Table 4)
+// ---------------------------------------------------------------------------
+
+size_t SscDevice::DeviceMemoryUsage() const {
+  size_t bytes = block_map_.MemoryUsage() + page_map_.MemoryUsage();
+  for (const auto& [block, lpns] : log_contents_) {
+    bytes += sizeof(block) + lpns.capacity() * sizeof(Lbn);
+  }
+  bytes += phys_to_logical_.capacity() * sizeof(Lbn);
+  bytes += allocator_->MemoryUsage();
+  bytes += persist_->MemoryUsage();
+  return bytes;
+}
+
+size_t SscDevice::ReservedDeviceMemoryUsage() const {
+  // Page-level mappings must be reserved for the maximum log fraction
+  // (Section 5): entry plus amortized group/bitmap overhead per bucket.
+  const double fraction = config_.policy == EvictionPolicy::kSeUtil ? config_.log_fraction
+                                                                    : config_.max_log_fraction;
+  const auto reserved_entries =
+      static_cast<uint64_t>(static_cast<double>(config_.capacity_pages) * fraction);
+  const size_t per_entry = sizeof(SparseHashMap<Lbn, uint64_t>::Entry) + 2;
+  size_t bytes = block_map_.MemoryUsage() + reserved_entries * per_entry;
+  for (const auto& [block, lpns] : log_contents_) {
+    bytes += sizeof(block) + lpns.capacity() * sizeof(Lbn);
+  }
+  bytes += phys_to_logical_.capacity() * sizeof(Lbn);
+  bytes += allocator_->MemoryUsage();
+  bytes += persist_->MemoryUsage();
+  return bytes;
+}
+
+}  // namespace flashtier

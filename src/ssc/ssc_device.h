@@ -1,0 +1,262 @@
+// The Solid-State Cache (SSC): the paper's primary contribution.
+//
+// An SSC is a flash device whose interface and FTL are specialized for
+// caching (Sections 3-4):
+//
+//   * Unified sparse address space: the host addresses the SSC with disk
+//     LBNs. Internally a hybrid mapping is kept in sparse hash maps — most
+//     cached data is block-mapped (256 KB granularity) and a log-block
+//     fraction is page-mapped (4 KB), as in the hybrid FTLs the paper builds
+//     on, but keyed by the sparse disk address space rather than a dense
+//     device address space.
+//
+//   * Six-operation consistent interface: write-dirty, write-clean, read,
+//     evict, clean, exists, with guarantees G1 (dirty writes durable), G2
+//     (clean writes return new data or not-present — never stale) and G3
+//     (reads after evict return not-present).
+//
+//   * Durability: mapping changes are logged via the PersistenceManager.
+//     write-dirty and evict commit synchronously; write-clean commits
+//     synchronously only when it replaces existing data (the mapping change
+//     must be durable, Section 4.2.1) and is group-committed otherwise;
+//     clean is always buffered (a crash may revert cleaned blocks to dirty).
+//     Internal reclamation (GC, merges, silent eviction) flushes the log
+//     before erasing any block so a recovered mapping can never reference
+//     reused flash.
+//
+//   * Silent eviction: garbage collection drops clean blocks instead of
+//     copying them. SE-Util (the "SSC" config) keeps a fixed 7% log-block
+//     reserve; SE-Merge (the "SSC-R" config) lets the log fraction float up
+//     to 20% and prefers creating data blocks by switch merges.
+//
+// The SSC carries a few spare erase blocks for merge transients but no
+// over-provisioned capacity: when space runs out it evicts, which is the
+// point (Section 3.3).
+
+#ifndef FLASHTIER_SSC_SSC_DEVICE_H_
+#define FLASHTIER_SSC_SSC_DEVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/flash/flash_device.h"
+#include "src/ftl/block_allocator.h"
+#include "src/ftl/ftl_stats.h"
+#include "src/sparsemap/sparse_hash_map.h"
+#include "src/ssc/persist.h"
+#include "src/util/bitmap.h"
+#include "src/util/status.h"
+
+namespace flashtier {
+
+enum class EvictionPolicy : uint8_t {
+  kSeUtil,   // "SSC": fixed log reserve, evict min-utilization clean blocks
+  kSeMerge,  // "SSC-R": floating log fraction (up to 20%), switch-merge-first
+};
+
+struct SscConfig {
+  uint64_t capacity_pages = 0;  // nominal cache capacity in 4 KB pages
+  EvictionPolicy policy = EvictionPolicy::kSeUtil;
+  ConsistencyMode mode = ConsistencyMode::kFull;
+  double log_fraction = 0.07;      // SE-Util: fixed; SE-Merge: initial
+  double max_log_fraction = 0.20;  // SE-Merge ceiling
+  uint32_t group_commit_ops = 10'000;
+  uint64_t checkpoint_interval_writes = 1'000'000;
+  uint32_t gc_victims_per_cycle = 4;  // top-k victim blocks per collection
+  FlashTimings timings;
+  FlashGeometry geometry;  // plane layout template; plane size scales to fit
+};
+
+class SscDevice {
+ public:
+  explicit SscDevice(const SscConfig& config, SimClock* clock);
+
+  // ---- The SSC interface (Section 4.2.1) ----
+
+  // Insert or update a block with dirty data; durable on return (G1).
+  Status WriteDirty(Lbn lbn, uint64_t token);
+
+  // Insert or update a block with clean data; a following read returns the
+  // new data or not-present (G2).
+  Status WriteClean(Lbn lbn, uint64_t token);
+
+  // Read a block if present, else kNotPresent.
+  Status Read(Lbn lbn, uint64_t* token);
+
+  // Evict a block immediately; durable on return (G3).
+  Status Evict(Lbn lbn);
+
+  // Mark a block clean so the SSC may silently evict it later. Asynchronous;
+  // after a crash cleaned blocks may return to their dirty state.
+  Status Clean(Lbn lbn);
+
+  // Test for the presence of dirty blocks in [start, start+count): bit i of
+  // `dirty_out` is set iff block start+i is present and dirty. Served from
+  // device memory.
+  void Exists(Lbn start, uint64_t count, Bitmap* dirty_out);
+
+  // Per-block metadata returned by the extended exists query (Section 4.2.1:
+  // exists "could be extended to return additional per-block metadata, such
+  // as access time or frequency, to help manage cache contents").
+  struct BlockInfo {
+    bool present = false;
+    bool dirty = false;
+    uint32_t access_frequency = 0;  // reads+overwrites since caching
+  };
+
+  // Extended exists: presence, dirty state and access frequency for each
+  // block in [start, start+count). Served from device memory.
+  void ExistsDetail(Lbn start, uint64_t count, std::vector<BlockInfo>* out);
+
+  // Background garbage collection (Section 5 integrates silent eviction
+  // "with background and foreground garbage collection"): reclaim space
+  // during idle time, spending at most `budget_us` of device time. Returns
+  // the number of blocks reclaimed.
+  uint32_t BackgroundCollect(uint64_t budget_us);
+
+  // One wear-leveling pass (Section 3.3: the device "may relocate data to
+  // perform wear leveling"): if the wear spread exceeds `max_wear_diff`,
+  // relocates the data block sitting on the least-worn flash so the worn
+  // block re-enters the allocation pool. Returns true if it moved anything.
+  bool WearLevelOnce(uint32_t max_wear_diff);
+
+  // Streams every (lbn, dirty) cached page to `fn(lbn, dirty)`, charging the
+  // same device-memory cost as an exists scan of the spanned address range
+  // would. Used by write-back cache-manager recovery.
+  template <typename Fn>
+  void ForEachCached(Fn&& fn) {
+    ChargeExistsScan();
+    const uint32_t ppb = device_->geometry().pages_per_block;
+    page_map_.ForEach([&](Lbn lbn, uint64_t packed) { fn(lbn, PackedDirty(packed)); });
+    block_map_.ForEach([&](uint64_t logical, const BlockEntry& e) {
+      for (uint32_t off = 0; off < ppb; ++off) {
+        if ((e.present_bits >> off) & 1u) {
+          fn(logical * ppb + off, ((e.dirty_bits >> off) & 1u) != 0);
+        }
+      }
+    });
+  }
+
+  // ---- Crash simulation / recovery (Section 4.2.2) ----
+
+  // Power failure: device RAM (maps, log buffer, GC state) is lost; the
+  // flash medium and the durable log/checkpoint regions survive.
+  void SimulateCrash();
+
+  // Roll-forward recovery: checkpoint + log replay, then reconstruction of
+  // reverse maps and block state. Leaves the device ready to serve requests.
+  Status Recover();
+
+  // ---- Introspection ----
+
+  uint64_t capacity_pages() const { return config_.capacity_pages; }
+  uint64_t cached_pages() const { return cached_pages_; }
+  uint64_t dirty_pages() const { return dirty_pages_; }
+
+  const FtlStats& ftl_stats() const { return ftl_stats_; }
+  const FlashStats& flash_stats() const { return device_->stats(); }
+  const PersistStats& persist_stats() const { return persist_->stats(); }
+  const FlashDevice& device() const { return *device_; }
+  uint64_t last_recovery_us() const { return persist_->stats().last_recovery_us; }
+
+  double ExtraWritesPerBlock() const {
+    return ftl_stats_.ExtraWritesPerBlock(device_->stats().page_writes,
+                                          device_->stats().gc_copies);
+  }
+
+  // Device-resident mapping memory actually in use (Table 4 "SSC" column).
+  size_t DeviceMemoryUsage() const;
+  // SE-Merge must reserve device memory for page-level mappings of the
+  // maximum log fraction (Table 4 "SSC-R" column accounting).
+  size_t ReservedDeviceMemoryUsage() const;
+
+  uint64_t current_log_blocks() const { return log_blocks_.size(); }
+  uint64_t free_blocks() const { return allocator_->FreeCount(); }
+  uint64_t dead_block_count() const { return dead_blocks_.size(); }
+  uint64_t data_block_entries() const { return block_map_.size(); }
+  uint64_t page_map_entries() const { return page_map_.size(); }
+
+ private:
+  struct BlockEntry {
+    PhysBlock phys = kInvalidBlock;
+    uint64_t present_bits = 0;
+    uint64_t dirty_bits = 0;
+    // Volatile usage statistic (Section 4.1); reported by ExistsDetail and
+    // not persisted (resets to zero across a crash).
+    uint32_t access_count = 0;
+  };
+
+  static uint64_t Pack(Ppn ppn, bool dirty) {
+    return (ppn << 1) | (dirty ? 1u : 0u);
+  }
+  static Ppn PackedPpn(uint64_t packed) { return packed >> 1; }
+  static bool PackedDirty(uint64_t packed) { return (packed & 1u) != 0; }
+
+  Status WriteInternal(Lbn lbn, uint64_t token, bool dirty);
+  // Removes the newest version of lbn from maps and medium; returns true if
+  // one existed. Appends the matching log records (not flushed).
+  bool InvalidateOldVersion(Lbn lbn);
+
+  Status EnsureFreeBlocks(uint32_t want);
+  Status EnsureActiveLogBlock();
+  // Erases one block from the dead queue (flushing pending log records
+  // first) and returns it to the allocator. False if the queue is empty.
+  bool ReclaimDeadBlock();
+  uint32_t LogBlockLimit() const;
+
+  // One garbage-collection cycle on the fullest plane. Prefers silent
+  // eviction of clean data blocks; falls back to copying GC. Returns true if
+  // at least one block was reclaimed.
+  bool CollectFullestPlane();
+  void SilentlyEvict(PhysBlock phys, uint64_t logical);
+  // Moves a data block to `destination` (already allocated), preserving
+  // offsets; used by wear leveling.
+  Status RelocateDataBlock(PhysBlock phys, uint64_t logical, PhysBlock destination);
+
+  Status MergeOldestLogBlock();
+  Status MergeLogicalBlock(uint64_t logical);
+  // SE-Merge log reclamation: copy live pages to the log frontier (no block
+  // rebuild) and erase the victim.
+  Status ForwardCopyLogBlock(PhysBlock victim);
+  bool TrySwitchOrPartialMerge(PhysBlock victim);
+  // Installs `phys` as the data block for `logical` and retires the previous
+  // data block, if any.
+  void InstallDataBlock(uint64_t logical, PhysBlock phys, uint64_t present_bits,
+                        uint64_t dirty_bits);
+  void RetireLogPage(Lbn lbn);
+
+  void ChargeExistsScan();
+  std::vector<CheckpointEntry> SnapshotForCheckpoint() const;
+  void LogInsertBlockEntry(uint64_t logical, const BlockEntry& e);
+
+  SscConfig config_;
+  SimClock* clock_;
+  std::unique_ptr<FlashDevice> device_;
+  std::unique_ptr<BlockAllocator> allocator_;
+  std::unique_ptr<PersistenceManager> persist_;
+
+  SparseHashMap<uint64_t, BlockEntry> block_map_;  // logical erase block -> entry
+  SparseHashMap<Lbn, uint64_t> page_map_;          // lbn -> packed (ppn, dirty)
+
+  std::deque<PhysBlock> log_blocks_;  // FIFO; back() is the active one
+  std::unordered_map<PhysBlock, std::vector<Lbn>> log_contents_;
+  std::vector<Lbn> phys_to_logical_;       // data-block reverse map (device RAM)
+  // Creation stamp per data block — the "usage statistics to guide ...
+  // eviction policies" of Section 4.1. Freshly-merged blocks are sparse by
+  // construction; without an age filter, pure min-utilization eviction would
+  // preferentially discard the youngest data.
+  std::vector<uint64_t> block_birth_;
+  uint64_t birth_counter_ = 0;
+  std::deque<PhysBlock> dead_blocks_;      // unreferenced, not yet erased
+
+  uint64_t cached_pages_ = 0;
+  uint64_t dirty_pages_ = 0;
+  FtlStats ftl_stats_;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_SSC_SSC_DEVICE_H_

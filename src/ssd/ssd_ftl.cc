@@ -1,0 +1,323 @@
+#include "src/ssd/ssd_ftl.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flashtier {
+
+namespace {
+// OOB bytes available per page for mapping metadata during recovery scans;
+// the paper cites 64-224 byte OOB areas (Section 4.1), we take the low end.
+constexpr uint64_t kOobBytesPerPage = 64;
+}  // namespace
+
+SsdFtl::SsdFtl(uint64_t logical_pages, SimClock* clock, const Options& options)
+    : logical_pages_(logical_pages), clock_(clock) {
+  const FlashGeometry& probe = options.geometry;
+  logical_blocks_ = (logical_pages + probe.pages_per_block - 1) / probe.pages_per_block;
+  max_log_blocks_ = std::max<uint32_t>(
+      2, static_cast<uint32_t>(static_cast<double>(logical_blocks_) * options.log_fraction));
+
+  const uint64_t physical_blocks = logical_blocks_ + max_log_blocks_ + kSpareBlocks;
+  FlashGeometry geometry =
+      FlashGeometry::ForCapacity(physical_blocks * probe.EraseBlockBytes(), probe);
+  device_ = std::make_unique<FlashDevice>(geometry, options.timings, clock);
+  allocator_ = std::make_unique<BlockAllocator>(*device_, /*reserved_blocks=*/0);
+  block_map_.Reset(logical_blocks_, kInvalidBlock);
+}
+
+Status SsdFtl::Read(uint64_t lpn, uint64_t* token) {
+  if (lpn >= logical_pages_) {
+    return Status::kInvalidArgument;
+  }
+  ++ftl_stats_.host_reads;
+  const auto log_it = log_map_.find(lpn);
+  if (log_it != log_map_.end()) {
+    return device_->ReadPage(log_it->second, token, nullptr, nullptr);
+  }
+  const FlashGeometry& g = device_->geometry();
+  const PhysBlock* data = block_map_.Find(lpn / g.pages_per_block);
+  if (data != nullptr) {
+    const Ppn ppn = g.FirstPpnOf(*data) + lpn % g.pages_per_block;
+    if (device_->page_state(ppn) == PageState::kValid) {
+      return device_->ReadPage(ppn, token, nullptr, nullptr);
+    }
+  }
+  ++ftl_stats_.host_read_misses;
+  return Status::kNotPresent;
+}
+
+Status SsdFtl::Write(uint64_t lpn, uint64_t token) {
+  if (lpn >= logical_pages_) {
+    return Status::kInvalidArgument;
+  }
+  ++ftl_stats_.host_writes;
+  if (Status s = EnsureFreeBlocks(1); !IsOk(s)) {
+    return s;
+  }
+  if (Status s = EnsureActiveLogBlock(); !IsOk(s)) {
+    return s;
+  }
+  InvalidateOldVersion(lpn);
+  const PhysBlock active = log_blocks_.back();
+  OobRecord oob;
+  oob.lbn = lpn;
+  Ppn ppn = kInvalidPpn;
+  if (Status s = device_->ProgramPage(active, oob, token, nullptr, &ppn); !IsOk(s)) {
+    return s;
+  }
+  log_map_[lpn] = ppn;
+  log_contents_[active].push_back(lpn);
+  return Status::kOk;
+}
+
+Status SsdFtl::Trim(uint64_t lpn) {
+  if (lpn >= logical_pages_) {
+    return Status::kInvalidArgument;
+  }
+  InvalidateOldVersion(lpn);
+  return Status::kOk;
+}
+
+void SsdFtl::InvalidateOldVersion(uint64_t lpn) {
+  const auto log_it = log_map_.find(lpn);
+  if (log_it != log_map_.end()) {
+    device_->MarkInvalid(log_it->second);
+    log_map_.erase(log_it);
+    return;
+  }
+  const FlashGeometry& g = device_->geometry();
+  const LogicalBlock logical = lpn / g.pages_per_block;
+  const PhysBlock* data = block_map_.Find(logical);
+  if (data != nullptr) {
+    const Ppn ppn = g.FirstPpnOf(*data) + lpn % g.pages_per_block;
+    if (device_->page_state(ppn) == PageState::kValid) {
+      device_->MarkInvalid(ppn);
+      ReclaimIfDead(*data, logical);
+    }
+  }
+}
+
+void SsdFtl::ReclaimIfDead(PhysBlock data_block, LogicalBlock logical) {
+  // A data block whose pages are all superseded or trimmed can be reclaimed
+  // eagerly: live versions, if any, are all in the log.
+  if (device_->valid_pages(data_block) == 0) {
+    block_map_.Erase(logical);
+    device_->EraseBlock(data_block);
+    allocator_->Free(data_block);
+  }
+}
+
+Status SsdFtl::EnsureFreeBlocks(uint32_t want) {
+  while (allocator_->FreeCount() < want) {
+    // The only way an SSD creates free space is by merging log blocks.
+    if (log_blocks_.size() <= 1) {
+      return Status::kNoSpace;
+    }
+    if (Status s = MergeOldestLogBlock(); !IsOk(s)) {
+      return s;
+    }
+  }
+  return Status::kOk;
+}
+
+Status SsdFtl::EnsureActiveLogBlock() {
+  if (!log_blocks_.empty() && !device_->BlockFull(log_blocks_.back())) {
+    return Status::kOk;
+  }
+  if (log_blocks_.size() >= max_log_blocks_) {
+    if (Status s = MergeOldestLogBlock(); !IsOk(s)) {
+      return s;
+    }
+  }
+  const PhysBlock block = allocator_->Allocate();
+  if (block == kInvalidBlock) {
+    return Status::kNoSpace;
+  }
+  log_blocks_.push_back(block);
+  log_contents_[block].clear();
+  return Status::kOk;
+}
+
+bool SsdFtl::TrySwitchOrPartialMerge(PhysBlock victim) {
+  const FlashGeometry& g = device_->geometry();
+  const auto it = log_contents_.find(victim);
+  if (it == log_contents_.end() || it->second.empty()) {
+    return false;
+  }
+  const std::vector<uint64_t>& lpns = it->second;
+  // Candidate logical block from the first page; every programmed page i must
+  // hold offset i of that block and still be valid.
+  if (lpns[0] % g.pages_per_block != 0) {
+    return false;
+  }
+  const LogicalBlock logical = lpns[0] / g.pages_per_block;
+  const Ppn base = g.FirstPpnOf(victim);
+  for (size_t i = 0; i < lpns.size(); ++i) {
+    if (lpns[i] != logical * g.pages_per_block + i ||
+        device_->page_state(base + i) != PageState::kValid) {
+      return false;
+    }
+  }
+
+  const PhysBlock* old = block_map_.Find(logical);
+  const bool full = lpns.size() == g.pages_per_block;
+  if (!full) {
+    // Partial merge: complete the sequential prefix by copying the remaining
+    // offsets from the old data block into the victim's free tail.
+    for (uint32_t off = static_cast<uint32_t>(lpns.size()); off < g.pages_per_block; ++off) {
+      bool copied = false;
+      // The newest version of the remaining offset is usually in the old data
+      // block, but may sit in another log block (fully-associative log), so
+      // check the log map first.
+      const auto log_it = log_map_.find(logical * g.pages_per_block + off);
+      if (log_it != log_map_.end()) {
+        if (IsOk(device_->CopyPage(log_it->second, victim, nullptr))) {
+          log_map_.erase(log_it);
+          copied = true;
+        }
+      } else if (old != nullptr) {
+        const Ppn src = g.FirstPpnOf(*old) + off;
+        if (device_->page_state(src) == PageState::kValid) {
+          copied = IsOk(device_->CopyPage(src, victim, nullptr));
+        }
+      }
+      if (!copied) {
+        device_->SkipPage(victim);
+      }
+    }
+    ++ftl_stats_.partial_merges;
+  } else {
+    ++ftl_stats_.switch_merges;
+  }
+
+  // Victim becomes the data block.
+  for (size_t i = 0; i < lpns.size(); ++i) {
+    log_map_.erase(lpns[i]);
+  }
+  log_contents_.erase(victim);
+  if (old != nullptr) {
+    const PhysBlock old_block = *old;
+    // Any still-valid old pages are superseded by the new data block.
+    const Ppn old_base = g.FirstPpnOf(old_block);
+    for (uint32_t i = 0; i < g.pages_per_block; ++i) {
+      if (device_->page_state(old_base + i) == PageState::kValid) {
+        device_->MarkInvalid(old_base + i);
+      }
+    }
+    block_map_.Erase(logical);
+    device_->EraseBlock(old_block);
+    allocator_->Free(old_block);
+  }
+  block_map_.Insert(logical, victim);
+  return true;
+}
+
+Status SsdFtl::FullMergeLogicalBlock(LogicalBlock logical) {
+  const FlashGeometry& g = device_->geometry();
+  const PhysBlock fresh = allocator_->Allocate();
+  if (fresh == kInvalidBlock) {
+    return Status::kNoSpace;
+  }
+  const PhysBlock* old_entry = block_map_.Find(logical);
+  const PhysBlock old_block = old_entry != nullptr ? *old_entry : kInvalidBlock;
+
+  for (uint32_t off = 0; off < g.pages_per_block; ++off) {
+    const uint64_t lpn = logical * g.pages_per_block + off;
+    Ppn src = kInvalidPpn;
+    const auto log_it = log_map_.find(lpn);
+    if (log_it != log_map_.end()) {
+      src = log_it->second;
+    } else if (old_block != kInvalidBlock) {
+      const Ppn candidate = g.FirstPpnOf(old_block) + off;
+      if (device_->page_state(candidate) == PageState::kValid) {
+        src = candidate;
+      }
+    }
+    if (src == kInvalidPpn) {
+      device_->SkipPage(fresh);
+      continue;
+    }
+    Ppn dst = kInvalidPpn;
+    if (Status s = device_->CopyPage(src, fresh, &dst); !IsOk(s)) {
+      return s;
+    }
+    if (log_it != log_map_.end()) {
+      log_map_.erase(log_it);
+    }
+  }
+
+  if (old_block != kInvalidBlock) {
+    assert(device_->valid_pages(old_block) == 0);
+    device_->EraseBlock(old_block);
+    allocator_->Free(old_block);
+  }
+  block_map_.Insert(logical, fresh);
+  return Status::kOk;
+}
+
+Status SsdFtl::MergeOldestLogBlock() {
+  if (log_blocks_.empty()) {
+    return Status::kNoSpace;
+  }
+  ++ftl_stats_.gc_invocations;
+  const PhysBlock victim = log_blocks_.front();
+  log_blocks_.pop_front();
+
+  if (TrySwitchOrPartialMerge(victim)) {
+    return Status::kOk;
+  }
+
+  // Full merge: rebuild every logical block with valid pages in the victim.
+  const FlashGeometry& g = device_->geometry();
+  const Ppn base = g.FirstPpnOf(victim);
+  const auto contents_it = log_contents_.find(victim);
+  std::vector<LogicalBlock> logicals;
+  if (contents_it != log_contents_.end()) {
+    const std::vector<uint64_t>& lpns = contents_it->second;
+    for (size_t i = 0; i < lpns.size(); ++i) {
+      if (device_->page_state(base + i) == PageState::kValid) {
+        const LogicalBlock l = lpns[i] / g.pages_per_block;
+        if (std::find(logicals.begin(), logicals.end(), l) == logicals.end()) {
+          logicals.push_back(l);
+        }
+      }
+    }
+  }
+  bool any_copies = false;
+  for (LogicalBlock l : logicals) {
+    any_copies = true;
+    if (Status s = FullMergeLogicalBlock(l); !IsOk(s)) {
+      return s;
+    }
+  }
+  if (any_copies) {
+    ++ftl_stats_.full_merges;
+  }
+
+  assert(device_->valid_pages(victim) == 0);
+  log_contents_.erase(victim);
+  device_->EraseBlock(victim);
+  allocator_->Free(victim);
+  return Status::kOk;
+}
+
+size_t SsdFtl::DeviceMemoryUsage() const {
+  // Dense block-level map + fully-associative log page map (~32 B/entry for a
+  // chained hash node) + per-log-block reverse metadata + free lists.
+  size_t bytes = block_map_.MemoryUsage();
+  bytes += log_map_.size() * (sizeof(uint64_t) + sizeof(Ppn) + 16);
+  for (const auto& [block, lpns] : log_contents_) {
+    bytes += sizeof(block) + lpns.capacity() * sizeof(uint64_t);
+  }
+  bytes += allocator_->MemoryUsage();
+  return bytes;
+}
+
+uint64_t SsdFtl::RecoveryOobScanUs() const {
+  const uint64_t map_bytes = DeviceMemoryUsage();
+  const uint64_t pages = (map_bytes + kOobBytesPerPage - 1) / kOobBytesPerPage;
+  return pages * device_->timings().OobReadCostUs();
+}
+
+}  // namespace flashtier

@@ -1,0 +1,147 @@
+#include "src/trace/trace_file.h"
+
+#include <cstring>
+
+#include "src/util/crc32.h"
+
+namespace flashtier {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'T', 'T', 'R'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 8;
+constexpr size_t kRecordSize = 8 + 1;
+
+void PackRecord(const TraceRecord& r, uint8_t out[kRecordSize]) {
+  std::memcpy(out, &r.lbn, 8);
+  out[8] = static_cast<uint8_t>(r.op);
+}
+
+TraceRecord UnpackRecord(const uint8_t in[kRecordSize]) {
+  TraceRecord r;
+  std::memcpy(&r.lbn, in, 8);
+  r.op = static_cast<TraceOp>(in[8]);
+  return r;
+}
+
+}  // namespace
+
+TraceFileWriter::~TraceFileWriter() {
+  if (file_ != nullptr) {
+    Close();
+  }
+}
+
+Status TraceFileWriter::Open(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::kIoError;
+  }
+  count_ = 0;
+  crc_ = 0;
+  // Placeholder header, rewritten on Close with the final count.
+  uint8_t header[kHeaderSize] = {};
+  std::memcpy(header, kMagic, 4);
+  std::memcpy(header + 4, &kVersion, 4);
+  if (std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    return Status::kIoError;
+  }
+  return Status::kOk;
+}
+
+Status TraceFileWriter::Append(const TraceRecord& record) {
+  if (file_ == nullptr) {
+    return Status::kInvalidArgument;
+  }
+  uint8_t buf[kRecordSize];
+  PackRecord(record, buf);
+  if (std::fwrite(buf, 1, kRecordSize, file_) != kRecordSize) {
+    return Status::kIoError;
+  }
+  crc_ = Crc32c(crc_, buf, kRecordSize);
+  ++count_;
+  return Status::kOk;
+}
+
+Status TraceFileWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::kInvalidArgument;
+  }
+  Status result = Status::kOk;
+  if (std::fwrite(&crc_, 1, 4, file_) != 4) {
+    result = Status::kIoError;
+  }
+  // Rewrite the header with the final record count.
+  uint8_t header[kHeaderSize] = {};
+  std::memcpy(header, kMagic, 4);
+  std::memcpy(header + 4, &kVersion, 4);
+  std::memcpy(header + 8, &count_, 8);
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    result = Status::kIoError;
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return result;
+}
+
+TraceFileReader::~TraceFileReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status TraceFileReader::Open(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::kIoError;
+  }
+  uint8_t header[kHeaderSize];
+  if (std::fread(header, 1, kHeaderSize, file_) != kHeaderSize ||
+      std::memcmp(header, kMagic, 4) != 0) {
+    return Status::kCorrupt;
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, header + 4, 4);
+  if (version != kVersion) {
+    return Status::kCorrupt;
+  }
+  std::memcpy(&count_, header + 8, 8);
+  // Validate the footer CRC by streaming all records once.
+  uint32_t crc = 0;
+  uint8_t buf[kRecordSize];
+  for (uint64_t i = 0; i < count_; ++i) {
+    if (std::fread(buf, 1, kRecordSize, file_) != kRecordSize) {
+      return Status::kCorrupt;
+    }
+    crc = Crc32c(crc, buf, kRecordSize);
+  }
+  uint32_t stored = 0;
+  if (std::fread(&stored, 1, 4, file_) != 4 || stored != crc) {
+    return Status::kCorrupt;
+  }
+  Rewind();
+  return Status::kOk;
+}
+
+bool TraceFileReader::Next(TraceRecord* record) {
+  if (file_ == nullptr || pos_ >= count_) {
+    return false;
+  }
+  uint8_t buf[kRecordSize];
+  if (std::fread(buf, 1, kRecordSize, file_) != kRecordSize) {
+    return false;
+  }
+  *record = UnpackRecord(buf);
+  ++pos_;
+  return true;
+}
+
+void TraceFileReader::Rewind() {
+  pos_ = 0;
+  if (file_ != nullptr) {
+    std::fseek(file_, static_cast<long>(kHeaderSize), SEEK_SET);
+  }
+}
+
+}  // namespace flashtier

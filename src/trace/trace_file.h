@@ -1,0 +1,65 @@
+// Binary trace file format: 24-byte header + 9-byte packed records.
+//
+//   header: magic "FTTR", u32 version, u64 record count, u64 reserved
+//   record: u64 lbn, u8 op
+//
+// Checksummed footer (CRC32-C over all records) so truncated files are
+// detected on open.
+
+#ifndef FLASHTIER_TRACE_TRACE_FILE_H_
+#define FLASHTIER_TRACE_TRACE_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/util/status.h"
+
+namespace flashtier {
+
+// Streams records to a file; finalizes header+footer on Close().
+class TraceFileWriter {
+ public:
+  TraceFileWriter() = default;
+  ~TraceFileWriter();
+
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Append(const TraceRecord& record);
+  Status Close();
+
+  uint64_t written() const { return count_; }
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t count_ = 0;
+  uint32_t crc_ = 0;
+};
+
+// Reads a trace file as a TraceSource. Validates header and footer CRC.
+class TraceFileReader final : public TraceSource {
+ public:
+  TraceFileReader() = default;
+  ~TraceFileReader() override;
+
+  TraceFileReader(const TraceFileReader&) = delete;
+  TraceFileReader& operator=(const TraceFileReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  bool Next(TraceRecord* record) override;
+  void Rewind() override;
+  uint64_t size_hint() const override { return count_; }
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t count_ = 0;
+  uint64_t pos_ = 0;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_TRACE_TRACE_FILE_H_

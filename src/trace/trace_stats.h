@@ -1,0 +1,65 @@
+// Trace statistics: Table 3 characteristics and the Figure 1 region-density
+// distribution.
+
+#ifndef FLASHTIER_TRACE_TRACE_STATS_H_
+#define FLASHTIER_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace flashtier {
+
+class TraceStats {
+ public:
+  void Add(const TraceRecord& record);
+
+  // Consumes an entire source (leaves it rewound).
+  void Consume(TraceSource& source);
+
+  uint64_t total_ops() const { return total_ops_; }
+  uint64_t writes() const { return writes_; }
+  double write_fraction() const {
+    return total_ops_ == 0 ? 0.0 : static_cast<double>(writes_) / static_cast<double>(total_ops_);
+  }
+  uint64_t unique_blocks() const { return counts_.size(); }
+  // Address range spanned by the trace ("Range" in Table 3): highest
+  // referenced byte address, i.e. the footprint of the containing disk.
+  uint64_t range_bytes() const { return total_ops_ == 0 ? 0 : (max_lbn_ + 1) * 4096; }
+
+  // Mean accesses (and writes) per referenced block, optionally restricted to
+  // the `top_fraction` most-accessed blocks. Section 2 observes writes/block
+  // of the top 25% is ~4x the whole-trace average for write-heavy traces.
+  double MeanAccessesPerBlock(double top_fraction = 1.0) const;
+  double MeanWritesPerBlock(double top_fraction = 1.0) const;
+
+  // The LBNs of the `top_fraction` most-accessed blocks — the paper's model
+  // of "blocks likely to be cached"; used to size caches at 25%.
+  std::vector<Lbn> TopBlocks(double top_fraction) const;
+
+  // Figure 1: for every 100,000-block region containing at least one of the
+  // top-`top_fraction` blocks, the number of those blocks that fall in it.
+  // Returned sorted ascending (a CDF over regions).
+  std::vector<uint64_t> RegionDensities(double top_fraction) const;
+
+  // Fraction of the (filtered) regions whose referenced-block count is below
+  // `percent_of_region` percent of the region size.
+  double FractionOfRegionsBelow(double top_fraction, double percent_of_region) const;
+
+ private:
+  struct BlockCount {
+    uint64_t accesses = 0;
+    uint64_t writes = 0;
+  };
+
+  std::unordered_map<Lbn, BlockCount> counts_;
+  uint64_t total_ops_ = 0;
+  uint64_t writes_ = 0;
+  Lbn max_lbn_ = 0;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_TRACE_TRACE_STATS_H_

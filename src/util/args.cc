@@ -1,0 +1,50 @@
+#include "src/util/args.h"
+
+#include <cstdlib>
+
+namespace flashtier {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      ok_ = false;
+      error_ = "expected --flag, got: " + arg;
+      return;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::string ArgParser::GetString(const std::string& name, const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& name, int64_t def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double ArgParser::GetDouble(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace flashtier

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Supports `--name=value` and `--name value`. Unknown flags are reported so a
+// typo in a sweep script fails loudly rather than silently running defaults.
+
+#ifndef FLASHTIER_UTIL_ARGS_H_
+#define FLASHTIER_UTIL_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace flashtier {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  // True if all arguments parsed as --name[=value] pairs.
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  bool Has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_UTIL_ARGS_H_

@@ -1,0 +1,23 @@
+// CRC32-C (Castagnoli) checksums.
+//
+// Used to protect simulated persistent structures: SSC log records, map
+// checkpoints, and (in integrity-testing mode) cached page payloads. The
+// polynomial matches iSCSI/ext4 so test vectors are widely available.
+
+#ifndef FLASHTIER_UTIL_CRC32_H_
+#define FLASHTIER_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flashtier {
+
+// Extends a running CRC32-C with `n` bytes at `data`. Pass 0 as the seed for
+// a fresh checksum.
+uint32_t Crc32c(uint32_t seed, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) { return Crc32c(0, data, n); }
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_UTIL_CRC32_H_

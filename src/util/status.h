@@ -1,0 +1,56 @@
+// Status codes shared across the FlashTier libraries.
+//
+// The SSC interface (Section 4.2 of the paper) is defined in terms of
+// operations that may fail with "not present"; we model that and a small set
+// of additional error conditions with a lightweight status enum rather than
+// exceptions, since these codes appear on the hot path of every simulated
+// request.
+
+#ifndef FLASHTIER_UTIL_STATUS_H_
+#define FLASHTIER_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace flashtier {
+
+enum class Status : uint8_t {
+  kOk = 0,
+  // The requested block is not in the cache. This is an expected outcome of
+  // SSC reads (guarantee G2/G3), not an error.
+  kNotPresent,
+  // The device has no free space and could not create any (e.g. an SSC whose
+  // blocks are all dirty and cannot be silently evicted).
+  kNoSpace,
+  // Malformed request (unaligned address, out-of-range length, ...).
+  kInvalidArgument,
+  // Persistent state failed validation (bad checksum, truncated log, ...).
+  kCorrupt,
+  // The simulated medium rejected the operation (e.g. programming a page of
+  // an unerased block).
+  kIoError,
+};
+
+constexpr bool IsOk(Status s) { return s == Status::kOk; }
+
+constexpr std::string_view StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "OK";
+    case Status::kNotPresent:
+      return "NOT_PRESENT";
+    case Status::kNoSpace:
+      return "NO_SPACE";
+    case Status::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::kCorrupt:
+      return "CORRUPT";
+    case Status::kIoError:
+      return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_UTIL_STATUS_H_

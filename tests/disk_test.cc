@@ -1,0 +1,103 @@
+// Tests for the analytic disk model.
+
+#include <gtest/gtest.h>
+
+#include "src/disk/disk_model.h"
+
+namespace flashtier {
+namespace {
+
+DiskParams SingleDisk() {
+  DiskParams p;
+  p.spindles = 1;
+  return p;
+}
+
+class DiskModelTest : public ::testing::Test {
+ protected:
+  DiskModelTest() : disk_(SingleDisk(), &clock_) {}
+  SimClock clock_;
+  DiskModel disk_;
+};
+
+TEST_F(DiskModelTest, RandomAccessPaysSeekAndRotation) {
+  const DiskParams p;
+  const uint64_t t0 = clock_.now_us();
+  disk_.Read(1'000'000);
+  const uint64_t cost = clock_.now_us() - t0;
+  EXPECT_EQ(cost, p.avg_seek_us + p.avg_rotation_us + p.transfer_us_per_4k);
+}
+
+TEST_F(DiskModelTest, SequentialAccessIsMuchCheaper) {
+  disk_.Read(500);
+  const uint64_t t0 = clock_.now_us();
+  disk_.Read(501);  // next block: sequential
+  const uint64_t seq_cost = clock_.now_us() - t0;
+  const uint64_t t1 = clock_.now_us();
+  disk_.Read(99'999'999);  // far away: random
+  const uint64_t rand_cost = clock_.now_us() - t1;
+  EXPECT_LT(seq_cost * 10, rand_cost);
+}
+
+TEST_F(DiskModelTest, RandomIopsInDiskClass) {
+  // Section 2's motivating number: a disk system in the ~hundreds of IOPS.
+  const uint64_t ops = 1000;
+  Lbn lbn = 1;
+  for (uint64_t i = 0; i < ops; ++i) {
+    disk_.Read(lbn);
+    lbn = lbn * 2'654'435'761 % 100'000'000;  // scattered
+  }
+  const double iops = static_cast<double>(ops) * 1e6 / static_cast<double>(clock_.now_us());
+  EXPECT_GT(iops, 50.0);
+  EXPECT_LT(iops, 500.0);
+}
+
+TEST_F(DiskModelTest, TokensRoundTrip) {
+  disk_.Write(42, 0xbeef);
+  uint64_t token = 0;
+  disk_.Read(42, &token);
+  EXPECT_EQ(token, 0xbeefu);
+}
+
+TEST_F(DiskModelTest, UnwrittenBlocksReturnOriginalToken) {
+  uint64_t token = 0;
+  disk_.Read(777, &token);
+  EXPECT_EQ(token, DiskModel::OriginalToken(777));
+}
+
+TEST_F(DiskModelTest, WriteRunStoresAllTokensWithOneSeek) {
+  const std::vector<uint64_t> tokens = {10, 11, 12, 13};
+  const uint64_t t0 = clock_.now_us();
+  ASSERT_EQ(disk_.WriteRun(100, tokens), Status::kOk);
+  const uint64_t run_cost = clock_.now_us() - t0;
+
+  SimClock clock2;
+  DiskModel disk2(SingleDisk(), &clock2);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    // Force scattered singles for comparison.
+    disk2.Write(100 + i * 1'000'000, tokens[i]);
+  }
+  EXPECT_LT(run_cost * 2, clock2.now_us());
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    uint64_t token = 0;
+    disk_.Read(100 + i, &token);
+    EXPECT_EQ(token, tokens[i]);
+  }
+}
+
+TEST_F(DiskModelTest, WriteRunRejectsEmpty) {
+  EXPECT_EQ(disk_.WriteRun(0, {}), Status::kInvalidArgument);
+}
+
+TEST_F(DiskModelTest, StatsAccumulate) {
+  disk_.Read(1);
+  disk_.Write(2, 0);
+  disk_.WriteRun(10, {1, 2, 3});
+  EXPECT_EQ(disk_.stats().reads, 1u);
+  EXPECT_EQ(disk_.stats().writes, 2u);  // WriteRun counts as one access
+  EXPECT_EQ(disk_.stats().busy_us, clock_.now_us());
+}
+
+}  // namespace
+}  // namespace flashtier

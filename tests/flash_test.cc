@@ -1,0 +1,270 @@
+// Unit tests for the NAND flash device model: geometry math, programming
+// rules, erase/copy semantics, timing charges, wear accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/flash/flash_device.h"
+#include "src/flash/geometry.h"
+#include "src/flash/timing.h"
+
+namespace flashtier {
+namespace {
+
+FlashGeometry TinyGeometry() {
+  FlashGeometry g;
+  g.planes = 2;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 8;
+  return g;
+}
+
+TEST(FlashGeometryTest, Table2Defaults) {
+  FlashGeometry g;
+  EXPECT_EQ(g.planes, 10u);
+  EXPECT_EQ(g.blocks_per_plane, 256u);
+  EXPECT_EQ(g.pages_per_block, 64u);
+  EXPECT_EQ(g.page_size, 4096u);
+  EXPECT_EQ(g.TotalBlocks(), 2560u);
+  EXPECT_EQ(g.TotalPages(), 163'840u);
+  EXPECT_EQ(g.EraseBlockBytes(), 256u * 1024u);  // 256 KB erase blocks
+}
+
+TEST(FlashGeometryTest, AddressRoundTrips) {
+  const FlashGeometry g = TinyGeometry();
+  for (PhysBlock b = 0; b < g.TotalBlocks(); ++b) {
+    for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+      const Ppn ppn = g.FirstPpnOf(b) + p;
+      EXPECT_EQ(g.BlockOf(ppn), b);
+      EXPECT_EQ(g.PageOf(ppn), p);
+    }
+  }
+  EXPECT_EQ(g.PlaneOf(0), 0u);
+  EXPECT_EQ(g.PlaneOf(3), 0u);
+  EXPECT_EQ(g.PlaneOf(4), 1u);
+  EXPECT_EQ(g.BlockAt(1, 2), 6u);
+}
+
+TEST(FlashGeometryTest, ForCapacityScalesPlaneSizeNotPlaneCount) {
+  const FlashGeometry g = FlashGeometry::ForCapacity(100ull << 30);  // 100 GB
+  EXPECT_EQ(g.planes, 10u);  // paper scales plane size, Section 6.1
+  EXPECT_GE(g.CapacityBytes(), 100ull << 30);
+  // Rounding waste is under one block per plane.
+  EXPECT_LT(g.CapacityBytes() - (100ull << 30), uint64_t{10} * g.EraseBlockBytes());
+}
+
+TEST(FlashGeometryTest, ForCapacityTinyRequest) {
+  const FlashGeometry g = FlashGeometry::ForCapacity(1);
+  EXPECT_GE(g.blocks_per_plane, 1u);
+  EXPECT_GE(g.CapacityBytes(), 1u);
+}
+
+TEST(FlashTimingsTest, Table2Latencies) {
+  const FlashTimings t;
+  EXPECT_EQ(t.page_read_us, 65u);
+  EXPECT_EQ(t.page_write_us, 85u);
+  EXPECT_EQ(t.block_erase_us, 1000u);
+  EXPECT_EQ(t.ReadCostUs(), 65u + 10u + 2u);
+  EXPECT_EQ(t.WriteCostUs(), 85u + 10u + 2u);
+  EXPECT_EQ(t.EraseCostUs(), 1010u);
+  EXPECT_EQ(t.CopyCostUs(), 65u + 85u + 10u);  // no host bus transfer
+}
+
+class FlashDeviceTest : public ::testing::Test {
+ protected:
+  FlashDeviceTest() : device_(TinyGeometry(), FlashTimings{}, &clock_) {}
+
+  SimClock clock_;
+  FlashDevice device_;
+};
+
+TEST_F(FlashDeviceTest, ProgramAssignsSequentialPages) {
+  OobRecord oob;
+  oob.lbn = 123;
+  Ppn p0 = kInvalidPpn;
+  Ppn p1 = kInvalidPpn;
+  ASSERT_EQ(device_.ProgramPage(0, oob, 111, nullptr, &p0), Status::kOk);
+  ASSERT_EQ(device_.ProgramPage(0, oob, 222, nullptr, &p1), Status::kOk);
+  EXPECT_EQ(p0, 0u);
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(device_.write_pointer(0), 2u);
+  EXPECT_EQ(device_.valid_pages(0), 2u);
+}
+
+TEST_F(FlashDeviceTest, ProgramFailsWhenBlockFull) {
+  OobRecord oob;
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(device_.ProgramPage(1, oob, i, nullptr, nullptr), Status::kOk);
+  }
+  EXPECT_TRUE(device_.BlockFull(1));
+  EXPECT_EQ(device_.ProgramPage(1, oob, 99, nullptr, nullptr), Status::kNoSpace);
+}
+
+TEST_F(FlashDeviceTest, ReadReturnsTokenAndOob) {
+  OobRecord oob;
+  oob.lbn = 77;
+  oob.flags = 1;
+  Ppn ppn = kInvalidPpn;
+  ASSERT_EQ(device_.ProgramPage(2, oob, 0xabcd, nullptr, &ppn), Status::kOk);
+  uint64_t token = 0;
+  OobRecord out;
+  ASSERT_EQ(device_.ReadPage(ppn, &token, &out, nullptr), Status::kOk);
+  EXPECT_EQ(token, 0xabcdu);
+  EXPECT_EQ(out.lbn, 77u);
+  EXPECT_EQ(out.flags, 1u);
+  EXPECT_GT(out.seq, 0u);  // device stamps a program sequence
+}
+
+TEST_F(FlashDeviceTest, ReadOfFreePageFails) {
+  uint64_t token = 0;
+  EXPECT_EQ(device_.ReadPage(0, &token, nullptr, nullptr), Status::kIoError);
+}
+
+TEST_F(FlashDeviceTest, SequenceNumbersAreMonotone) {
+  OobRecord oob;
+  Ppn a = kInvalidPpn;
+  Ppn b = kInvalidPpn;
+  device_.ProgramPage(0, oob, 1, nullptr, &a);
+  device_.ProgramPage(3, oob, 2, nullptr, &b);
+  EXPECT_LT(device_.oob(a).seq, device_.oob(b).seq);
+}
+
+TEST_F(FlashDeviceTest, MarkInvalidAndValidMaintainCounts) {
+  OobRecord oob;
+  Ppn ppn = kInvalidPpn;
+  device_.ProgramPage(0, oob, 1, nullptr, &ppn);
+  EXPECT_EQ(device_.valid_pages(0), 1u);
+  ASSERT_EQ(device_.MarkInvalid(ppn), Status::kOk);
+  EXPECT_EQ(device_.valid_pages(0), 0u);
+  EXPECT_EQ(device_.MarkInvalid(ppn), Status::kInvalidArgument);  // already invalid
+  ASSERT_EQ(device_.MarkValid(ppn), Status::kOk);
+  EXPECT_EQ(device_.valid_pages(0), 1u);
+  EXPECT_EQ(device_.MarkValid(ppn), Status::kInvalidArgument);  // already valid
+}
+
+TEST_F(FlashDeviceTest, EraseResetsBlockAndCountsWear) {
+  OobRecord oob;
+  for (int i = 0; i < 5; ++i) {
+    device_.ProgramPage(0, oob, i, nullptr, nullptr);
+  }
+  ASSERT_EQ(device_.EraseBlock(0), Status::kOk);
+  EXPECT_EQ(device_.write_pointer(0), 0u);
+  EXPECT_EQ(device_.valid_pages(0), 0u);
+  EXPECT_EQ(device_.erase_count(0), 1u);
+  EXPECT_TRUE(device_.BlockErased(0));
+  EXPECT_EQ(device_.page_state(0), PageState::kFree);
+  // The block is programmable again.
+  EXPECT_EQ(device_.ProgramPage(0, oob, 9, nullptr, nullptr), Status::kOk);
+}
+
+TEST_F(FlashDeviceTest, SkipPageLeavesHole) {
+  OobRecord oob;
+  device_.ProgramPage(0, oob, 1, nullptr, nullptr);
+  ASSERT_EQ(device_.SkipPage(0), Status::kOk);
+  Ppn ppn = kInvalidPpn;
+  device_.ProgramPage(0, oob, 3, nullptr, &ppn);
+  EXPECT_EQ(ppn, 2u);  // page 1 skipped
+  EXPECT_EQ(device_.page_state(1), PageState::kFree);
+  EXPECT_EQ(device_.valid_pages(0), 2u);
+}
+
+TEST_F(FlashDeviceTest, CopyPagePreservesContentAndInvalidatesSource) {
+  OobRecord oob;
+  oob.lbn = 55;
+  Ppn src = kInvalidPpn;
+  device_.ProgramPage(0, oob, 0x5555, nullptr, &src);
+  const uint64_t src_seq = device_.oob(src).seq;
+  Ppn dst = kInvalidPpn;
+  ASSERT_EQ(device_.CopyPage(src, 1, &dst), Status::kOk);
+  EXPECT_EQ(device_.page_state(src), PageState::kInvalid);
+  uint64_t token = 0;
+  OobRecord out;
+  ASSERT_EQ(device_.ReadPage(dst, &token, &out, nullptr), Status::kOk);
+  EXPECT_EQ(token, 0x5555u);
+  EXPECT_EQ(out.lbn, 55u);
+  EXPECT_EQ(out.seq, src_seq);  // logical version unchanged by GC copy
+  EXPECT_EQ(device_.stats().gc_copies, 1u);
+}
+
+TEST_F(FlashDeviceTest, CopyPageRejectsInvalidSource) {
+  OobRecord oob;
+  Ppn src = kInvalidPpn;
+  device_.ProgramPage(0, oob, 1, nullptr, &src);
+  device_.MarkInvalid(src);
+  EXPECT_EQ(device_.CopyPage(src, 1, nullptr), Status::kInvalidArgument);
+}
+
+TEST_F(FlashDeviceTest, TimingChargesMatchTable2) {
+  const FlashTimings t;
+  OobRecord oob;
+  Ppn ppn = kInvalidPpn;
+  const uint64_t t0 = clock_.now_us();
+  device_.ProgramPage(0, oob, 1, nullptr, &ppn);
+  EXPECT_EQ(clock_.now_us() - t0, t.WriteCostUs());
+  const uint64_t t1 = clock_.now_us();
+  device_.ReadPage(ppn, nullptr, nullptr, nullptr);
+  EXPECT_EQ(clock_.now_us() - t1, t.ReadCostUs());
+  const uint64_t t2 = clock_.now_us();
+  device_.EraseBlock(1);
+  EXPECT_EQ(clock_.now_us() - t2, t.EraseCostUs());
+  EXPECT_EQ(device_.stats().busy_us, clock_.now_us());
+}
+
+TEST_F(FlashDeviceTest, WearDiffTracksImbalance) {
+  EXPECT_EQ(device_.MaxWearDiff(), 0u);
+  device_.EraseBlock(0);
+  device_.EraseBlock(0);
+  device_.EraseBlock(0);
+  device_.EraseBlock(1);
+  EXPECT_EQ(device_.MaxWearDiff(), 3u);
+  EXPECT_EQ(device_.TotalErases(), 4u);
+}
+
+TEST(FlashDeviceDataTest, StoresFullPagePayloadWhenEnabled) {
+  const FlashGeometry g = TinyGeometry();
+  SimClock clock;
+  FlashDevice device(g, FlashTimings{}, &clock, /*store_data=*/true);
+  std::vector<uint8_t> payload(g.page_size);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31);
+  }
+  OobRecord oob;
+  Ppn ppn = kInvalidPpn;
+  ASSERT_EQ(device.ProgramPage(0, oob, 1, payload.data(), &ppn), Status::kOk);
+  std::vector<uint8_t> out(g.page_size, 0);
+  ASSERT_EQ(device.ReadPage(ppn, nullptr, nullptr, out.data()), Status::kOk);
+  EXPECT_EQ(out, payload);
+  // Copy moves payload too.
+  Ppn dst = kInvalidPpn;
+  ASSERT_EQ(device.CopyPage(ppn, 1, &dst), Status::kOk);
+  std::fill(out.begin(), out.end(), 0);
+  ASSERT_EQ(device.ReadPage(dst, nullptr, nullptr, out.data()), Status::kOk);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(FlashDeviceDataTest, EraseDropsStoredPayload) {
+  const FlashGeometry g = TinyGeometry();
+  SimClock clock;
+  FlashDevice device(g, FlashTimings{}, &clock, /*store_data=*/true);
+  std::vector<uint8_t> payload(g.page_size, 0xee);
+  OobRecord oob;
+  Ppn ppn = kInvalidPpn;
+  device.ProgramPage(0, oob, 1, payload.data(), &ppn);
+  device.EraseBlock(0);
+  device.ProgramPage(0, oob, 2, nullptr, &ppn);
+  std::vector<uint8_t> out(g.page_size, 0xaa);
+  device.ReadPage(ppn, nullptr, nullptr, out.data());
+  EXPECT_EQ(out, std::vector<uint8_t>(g.page_size, 0));  // zero-fill, not old data
+}
+
+TEST_F(FlashDeviceTest, OutOfRangeOperationsRejected) {
+  const Ppn bad_ppn = TinyGeometry().TotalPages();
+  EXPECT_EQ(device_.ReadPage(bad_ppn, nullptr, nullptr, nullptr), Status::kInvalidArgument);
+  EXPECT_EQ(device_.MarkInvalid(bad_ppn), Status::kInvalidArgument);
+  EXPECT_EQ(device_.EraseBlock(TinyGeometry().TotalBlocks()), Status::kInvalidArgument);
+  OobRecord oob;
+  EXPECT_EQ(device_.ProgramPage(TinyGeometry().TotalBlocks(), oob, 1, nullptr, nullptr),
+            Status::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace flashtier

@@ -1,0 +1,205 @@
+// Unit tests for the SSC persistence machinery: logging, group commit,
+// checkpoint policy, crash/recovery semantics, and timing charges.
+
+#include <gtest/gtest.h>
+
+#include "src/ssc/persist.h"
+
+namespace flashtier {
+namespace {
+
+PersistenceManager::Options SmallOptions(ConsistencyMode mode = ConsistencyMode::kFull) {
+  PersistenceManager::Options o;
+  o.mode = mode;
+  o.group_commit_ops = 10;
+  o.checkpoint_interval_writes = 1'000'000;  // effectively off by default
+  return o;
+}
+
+LogRecord MakeRecord(uint64_t lsn, Lbn key) {
+  LogRecord r;
+  r.lsn = lsn;
+  r.type = LogOpType::kInsertPage;
+  r.key = key;
+  r.ppn = key * 2;
+  r.dirty_bits = 1;
+  return r;
+}
+
+TEST(PersistTest, SyncAppendIsImmediatelyDurable) {
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  pm.Append(MakeRecord(pm.NextLsn(), 1), /*sync=*/true);
+  EXPECT_EQ(pm.durable_log_records(), 1u);
+  EXPECT_EQ(pm.buffered_records(), 0u);
+  EXPECT_EQ(pm.stats().sync_commits, 1u);
+}
+
+TEST(PersistTest, AsyncAppendsBufferUntilGroupCommit) {
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  for (int i = 0; i < 9; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/false);
+  }
+  EXPECT_EQ(pm.buffered_records(), 9u);
+  EXPECT_EQ(pm.durable_log_records(), 0u);
+  pm.Append(MakeRecord(pm.NextLsn(), 9), /*sync=*/false);  // 10th triggers commit
+  EXPECT_EQ(pm.buffered_records(), 0u);
+  EXPECT_EQ(pm.durable_log_records(), 10u);
+  EXPECT_EQ(pm.stats().group_commits, 1u);
+}
+
+TEST(PersistTest, SyncFlushCoversEarlierBufferedRecords) {
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  pm.Append(MakeRecord(pm.NextLsn(), 1), /*sync=*/false);
+  pm.Append(MakeRecord(pm.NextLsn(), 2), /*sync=*/true);
+  EXPECT_EQ(pm.durable_log_records(), 2u);
+}
+
+TEST(PersistTest, SmallSyncCommitUsesAtomicWriteLatency) {
+  SimClock clock;
+  FlashTimings timings;
+  PersistenceManager pm(SmallOptions(), timings, &clock);
+  const uint64_t t0 = clock.now_us();
+  pm.Append(MakeRecord(pm.NextLsn(), 1), /*sync=*/true);
+  EXPECT_EQ(clock.now_us() - t0, timings.atomic_write_us);
+}
+
+TEST(PersistTest, LargeGroupCommitPaysPageWrites) {
+  SimClock clock;
+  FlashTimings timings;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.group_commit_ops = 1000;  // 1000 * 41 B > two pages
+  PersistenceManager pm(opts, timings, &clock);
+  for (int i = 0; i < 999; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/false);
+  }
+  const uint64_t t0 = clock.now_us();
+  pm.Flush();
+  const uint64_t cost = clock.now_us() - t0;
+  EXPECT_GE(cost, 2 * timings.WriteCostUs());
+}
+
+TEST(PersistTest, NoneModeDropsEverythingSilently) {
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(ConsistencyMode::kNone), FlashTimings{}, &clock);
+  pm.Append(MakeRecord(pm.NextLsn(), 1), /*sync=*/true);
+  EXPECT_EQ(pm.durable_log_records(), 0u);
+  EXPECT_EQ(pm.stats().records_logged, 0u);
+  EXPECT_EQ(clock.now_us(), 0u);  // no media cost either
+}
+
+TEST(PersistTest, CrashDropsOnlyBufferedRecords) {
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  pm.Append(MakeRecord(pm.NextLsn(), 1), /*sync=*/true);
+  pm.Append(MakeRecord(pm.NextLsn(), 2), /*sync=*/false);
+  pm.Crash();
+  EXPECT_EQ(pm.stats().records_lost_in_crash, 1u);
+  std::vector<CheckpointEntry> ckpt;
+  std::vector<LogRecord> tail;
+  pm.Recover(&ckpt, &tail);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].key, 1u);
+}
+
+TEST(PersistTest, CheckpointTruncatesLogAndSubsumesBuffer) {
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  for (int i = 0; i < 25; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/false);
+  }
+  std::vector<CheckpointEntry> entries(3);
+  entries[0].key = 100;
+  pm.WriteCheckpoint(entries);
+  EXPECT_EQ(pm.durable_log_records(), 0u);
+  EXPECT_EQ(pm.buffered_records(), 0u);
+  EXPECT_EQ(pm.stats().checkpoints, 1u);
+
+  // Records after the checkpoint replay; records before it do not.
+  pm.Append(MakeRecord(pm.NextLsn(), 777), /*sync=*/true);
+  std::vector<CheckpointEntry> ckpt;
+  std::vector<LogRecord> tail;
+  pm.Recover(&ckpt, &tail);
+  EXPECT_EQ(ckpt.size(), 3u);
+  EXPECT_EQ(ckpt[0].key, 100u);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].key, 777u);
+}
+
+TEST(PersistTest, MaybeCheckpointHonorsWriteInterval) {
+  SimClock clock;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.checkpoint_interval_writes = 50;
+  PersistenceManager pm(opts, FlashTimings{}, &clock);
+  int snapshots_taken = 0;
+  for (int i = 0; i < 120; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/false);
+    // Large snapshots keep the log-size ratio rule quiet, isolating the
+    // write-interval rule.
+    pm.MaybeCheckpoint([&snapshots_taken] {
+      ++snapshots_taken;
+      return std::vector<CheckpointEntry>(100'000);
+    });
+  }
+  EXPECT_EQ(snapshots_taken, 2);  // at writes 50 and 100
+  EXPECT_EQ(pm.stats().checkpoints, 2u);
+}
+
+TEST(PersistTest, MaybeCheckpointHonorsLogSizeRatio) {
+  SimClock clock;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.group_commit_ops = 4;
+  PersistenceManager pm(opts, FlashTimings{}, &clock);
+  // First checkpoint establishes a small checkpoint size (10 entries = 330
+  // bytes); then a log > 2/3 of that (just a handful of 41-byte records)
+  // must trigger the next one.
+  pm.WriteCheckpoint(std::vector<CheckpointEntry>(10));
+  int snapshots_taken = 0;
+  for (int i = 0; i < 100 && snapshots_taken == 0; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/false);
+    pm.MaybeCheckpoint([&snapshots_taken] {
+      ++snapshots_taken;
+      return std::vector<CheckpointEntry>(10);
+    });
+  }
+  EXPECT_EQ(snapshots_taken, 1);
+}
+
+TEST(PersistTest, RecoveryChargesMediaReads) {
+  SimClock clock;
+  FlashTimings timings;
+  PersistenceManager pm(SmallOptions(), timings, &clock);
+  pm.WriteCheckpoint(std::vector<CheckpointEntry>(1000));
+  for (int i = 0; i < 500; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/false);
+  }
+  pm.Flush();
+  pm.Crash();
+  std::vector<CheckpointEntry> ckpt;
+  std::vector<LogRecord> tail;
+  pm.Recover(&ckpt, &tail);
+  EXPECT_GT(pm.stats().last_recovery_us, 0u);
+  // Bigger state must take longer to recover.
+  SimClock clock2;
+  PersistenceManager pm2(SmallOptions(), timings, &clock2);
+  pm2.WriteCheckpoint(std::vector<CheckpointEntry>(100'000));
+  pm2.Crash();
+  pm2.Recover(&ckpt, &tail);
+  EXPECT_GT(pm2.stats().last_recovery_us, pm.stats().last_recovery_us);
+}
+
+TEST(PersistTest, LsnsAreMonotone) {
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t lsn = pm.NextLsn();
+    EXPECT_GT(lsn, prev);
+    prev = lsn;
+  }
+}
+
+}  // namespace
+}  // namespace flashtier

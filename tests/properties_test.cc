@@ -1,0 +1,228 @@
+// Cross-cutting property tests: invariants that must hold across random
+// operation streams regardless of configuration.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "src/ssc/ssc_device.h"
+#include "src/trace/trace_file.h"
+#include "src/trace/workload.h"
+#include "src/util/rng.h"
+
+namespace flashtier {
+namespace {
+
+// Property: Exists agrees with Read about presence, and with the manager's
+// view of dirtiness, at every point of a random operation stream.
+class ExistsConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExistsConsistencyTest, ExistsMatchesReadAndDirtyState) {
+  SimClock clock;
+  SscConfig config;
+  config.capacity_pages = 2048;
+  config.geometry.planes = 4;
+  SscDevice ssc(config, &clock);
+  Rng rng(GetParam());
+  std::unordered_map<Lbn, bool> dirty_oracle;  // present -> dirty?
+
+  constexpr Lbn kSpan = 1500;
+  for (uint64_t i = 0; i < 6000; ++i) {
+    const Lbn lbn = rng.Below(kSpan);
+    switch (rng.Below(5)) {
+      case 0:
+        if (IsOk(ssc.WriteDirty(lbn, i))) {
+          dirty_oracle[lbn] = true;
+        }
+        break;
+      case 1:
+        if (IsOk(ssc.WriteClean(lbn, i))) {
+          dirty_oracle[lbn] = false;
+        }
+        break;
+      case 2:
+        ssc.Clean(lbn);
+        if (dirty_oracle.count(lbn)) {
+          dirty_oracle[lbn] = false;
+        }
+        break;
+      case 3:
+        ssc.Evict(lbn);
+        dirty_oracle.erase(lbn);
+        break;
+      default: {
+        uint64_t t;
+        ssc.Read(lbn, &t);
+        break;
+      }
+    }
+    if (i % 500 == 0) {
+      Bitmap bits;
+      ssc.Exists(0, kSpan, &bits);
+      for (Lbn probe = 0; probe < kSpan; probe += 7) {
+        uint64_t t;
+        const bool present = IsOk(ssc.Read(probe, &t));
+        const auto it = dirty_oracle.find(probe);
+        const bool dirty = present && it != dirty_oracle.end() && it->second;
+        // Exists bit set <=> present AND dirty. (Silent eviction only
+        // removes clean blocks, so a dirty oracle entry must be present.)
+        ASSERT_EQ(bits.Test(probe), dirty) << "lbn " << probe << " at op " << i;
+        if (it != dirty_oracle.end() && it->second) {
+          ASSERT_TRUE(present) << "dirty block " << probe << " vanished";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExistsConsistencyTest, ::testing::Values(1u, 2u, 3u));
+
+// Property: counters never drift — cached/dirty counts always equal what a
+// full Exists scan reports.
+TEST(CounterConsistencyTest, CachedAndDirtyCountsMatchScan) {
+  SimClock clock;
+  SscConfig config;
+  config.capacity_pages = 1024;
+  config.geometry.planes = 2;
+  SscDevice ssc(config, &clock);
+  Rng rng(77);
+  for (uint64_t i = 0; i < 8000; ++i) {
+    const Lbn lbn = rng.Below(900);
+    switch (rng.Below(4)) {
+      case 0:
+        ssc.WriteDirty(lbn, i);
+        break;
+      case 1:
+        ssc.WriteClean(lbn, i);
+        break;
+      case 2:
+        ssc.Clean(lbn);
+        break;
+      default:
+        ssc.Evict(lbn);
+        break;
+    }
+    if (i % 1000 == 999) {
+      uint64_t present = 0;
+      uint64_t dirty = 0;
+      ssc.ForEachCached([&](Lbn, bool is_dirty) {
+        ++present;
+        if (is_dirty) {
+          ++dirty;
+        }
+      });
+      ASSERT_EQ(present, ssc.cached_pages()) << "op " << i;
+      ASSERT_EQ(dirty, ssc.dirty_pages()) << "op " << i;
+    }
+  }
+}
+
+// Property: the virtual clock is monotone and every flash operation charges
+// it (no free work).
+TEST(TimingConsistencyTest, EveryHostOperationAdvancesTheClock) {
+  SimClock clock;
+  SscConfig config;
+  config.capacity_pages = 1024;
+  config.geometry.planes = 2;
+  SscDevice ssc(config, &clock);
+  Rng rng(5);
+  uint64_t last = clock.now_us();
+  for (uint64_t i = 0; i < 3000; ++i) {
+    const Lbn lbn = rng.Below(800);
+    if (rng.Chance(0.6)) {
+      ssc.WriteClean(lbn, i);
+    } else {
+      uint64_t t;
+      ssc.Read(lbn, &t);
+    }
+    ASSERT_GT(clock.now_us(), last);
+    last = clock.now_us();
+  }
+}
+
+// Property: a trace written to a file replays identically to the generator
+// it came from.
+TEST(TraceFileRoundTripTest, FileReplayEqualsGeneratorReplay) {
+  WorkloadProfile p;
+  p.name = "roundtrip";
+  p.range_blocks = 2'000'000;
+  p.unique_blocks = 20'000;
+  p.total_ops = 50'000;
+  p.write_fraction = 0.6;
+  p.seed = 31;
+
+  const std::string path = ::testing::TempDir() + "/roundtrip.fttr";
+  {
+    SyntheticWorkload generator(p);
+    TraceFileWriter writer;
+    ASSERT_EQ(writer.Open(path), Status::kOk);
+    TraceRecord r;
+    while (generator.Next(&r)) {
+      ASSERT_EQ(writer.Append(r), Status::kOk);
+    }
+    ASSERT_EQ(writer.Close(), Status::kOk);
+  }
+  SyntheticWorkload generator(p);
+  TraceFileReader reader;
+  ASSERT_EQ(reader.Open(path), Status::kOk);
+  TraceRecord a;
+  TraceRecord b;
+  uint64_t n = 0;
+  while (generator.Next(&a)) {
+    ASSERT_TRUE(reader.Next(&b));
+    ASSERT_EQ(a, b) << "record " << n;
+    ++n;
+  }
+  EXPECT_FALSE(reader.Next(&b));
+  std::remove(path.c_str());
+}
+
+// Property: recovery cost scales with persisted state, and recovery is
+// idempotent (recover-twice == recover-once for reads).
+TEST(RecoveryPropertiesTest, CostScalesAndRecoveryIsIdempotent) {
+  const auto recovery_cost = [](uint64_t writes) {
+    SimClock clock;
+    SscConfig config;
+    config.capacity_pages = 8192;
+    config.geometry.planes = 4;
+    SscDevice ssc(config, &clock);
+    for (uint64_t i = 0; i < writes; ++i) {
+      ssc.WriteDirty(i % 6000, i);
+    }
+    ssc.SimulateCrash();
+    ssc.Recover();
+    return ssc.last_recovery_us();
+  };
+  EXPECT_GT(recovery_cost(12'000), recovery_cost(2'000));
+
+  // Idempotence: crash+recover repeatedly without intervening writes must
+  // not change what reads return.
+  SimClock clock;
+  SscConfig config;
+  config.capacity_pages = 8192;
+  config.geometry.planes = 4;
+  SscDevice ssc(config, &clock);
+  for (uint64_t i = 0; i < 12'000; ++i) {
+    ssc.WriteDirty(i % 6000, i);
+  }
+  ssc.SimulateCrash();
+  ASSERT_EQ(ssc.Recover(), Status::kOk);
+  std::unordered_map<Lbn, uint64_t> before;
+  for (Lbn lbn = 0; lbn < 6000; lbn += 11) {
+    uint64_t t = 0;
+    if (IsOk(ssc.Read(lbn, &t))) {
+      before[lbn] = t;
+    }
+  }
+  ssc.SimulateCrash();
+  ASSERT_EQ(ssc.Recover(), Status::kOk);
+  for (const auto& [lbn, expected] : before) {
+    uint64_t t = 0;
+    ASSERT_EQ(ssc.Read(lbn, &t), Status::kOk) << lbn;
+    ASSERT_EQ(t, expected) << lbn;
+  }
+}
+
+}  // namespace
+}  // namespace flashtier

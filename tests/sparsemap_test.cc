@@ -1,0 +1,207 @@
+// Unit and property tests for the sparse hash map (Section 4.1) and the
+// dense baseline map.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/sparsemap/dense_map.h"
+#include "src/sparsemap/sparse_hash_map.h"
+#include "src/util/rng.h"
+
+namespace flashtier {
+namespace {
+
+TEST(SparseHashMapTest, InsertFindErase) {
+  SparseHashMap<uint64_t, uint64_t> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_TRUE(map.Insert(42, 100));
+  EXPECT_FALSE(map.Insert(42, 200));  // overwrite
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 200u);
+  EXPECT_EQ(map.Find(43), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.Erase(42));
+  EXPECT_FALSE(map.Erase(42));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(SparseHashMapTest, SparseKeysOverHugeDomain) {
+  // The whole point: keys spread over a 100+ TB address space.
+  SparseHashMap<uint64_t, uint64_t> map;
+  const uint64_t stride = 1ull << 34;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    map.Insert(i * stride + 17, i);
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(map.Find(i * stride + 17), nullptr);
+    EXPECT_EQ(*map.Find(i * stride + 17), i);
+    EXPECT_EQ(map.Find(i * stride + 18), nullptr);
+  }
+}
+
+TEST(SparseHashMapTest, GrowsAndShrinksThroughRehash) {
+  SparseHashMap<uint64_t, uint64_t> map;
+  const size_t initial_buckets = map.bucket_count();
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    map.Insert(i * 7919, i);
+  }
+  EXPECT_GT(map.bucket_count(), initial_buckets);
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_NE(map.Find(i * 7919), nullptr) << i;
+  }
+  for (uint64_t i = 0; i < 9'990; ++i) {
+    ASSERT_TRUE(map.Erase(i * 7919));
+  }
+  EXPECT_EQ(map.size(), 10u);
+  // Shrink happened and the survivors are still reachable.
+  for (uint64_t i = 9'990; i < 10'000; ++i) {
+    ASSERT_NE(map.Find(i * 7919), nullptr);
+    EXPECT_EQ(*map.Find(i * 7919), i);
+  }
+}
+
+TEST(SparseHashMapTest, MemoryGrowsWithEntriesNotDomain) {
+  SparseHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    map.Insert(i * (1ull << 30), i);  // 100 PB domain
+  }
+  const size_t bytes = map.MemoryUsage();
+  // ~16 B/entry payload + small overhead; must be far below a dense table
+  // over the same domain and within ~3x of the payload.
+  EXPECT_LT(bytes, 100'000u * 48u);
+  EXPECT_GE(bytes, 100'000u * sizeof(SparseHashMap<uint64_t, uint64_t>::Entry));
+}
+
+TEST(SparseHashMapTest, ForEachVisitsEverythingOnce) {
+  SparseHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 500; ++i) {
+    map.Insert(i * 3 + 1, i);
+  }
+  std::unordered_map<uint64_t, uint64_t> seen;
+  map.ForEach([&seen](uint64_t k, uint64_t v) { ++seen[k]; (void)v; });
+  EXPECT_EQ(seen.size(), 500u);
+  for (const auto& [k, count] : seen) {
+    EXPECT_EQ(count, 1u) << k;
+  }
+}
+
+TEST(SparseHashMapTest, MoveSemantics) {
+  SparseHashMap<uint64_t, uint64_t> a;
+  a.Insert(1, 10);
+  a.Insert(2, 20);
+  SparseHashMap<uint64_t, uint64_t> b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(*b.Find(1), 10u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): reset to empty
+  a.Insert(3, 30);
+  EXPECT_EQ(*a.Find(3), 30u);
+}
+
+TEST(SparseHashMapTest, ClearEmptiesAndRemainsUsable) {
+  SparseHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 100; ++i) {
+    map.Insert(i, i);
+  }
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(5), nullptr);
+  map.Insert(5, 55);
+  EXPECT_EQ(*map.Find(5), 55u);
+}
+
+// Property test: random interleavings of insert/overwrite/erase/lookup match
+// std::unordered_map exactly. Parameterized over seeds and key-space density
+// to shake out probe-chain and backward-shift deletion bugs.
+class SparseMapPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(SparseMapPropertyTest, MatchesReferenceMap) {
+  const auto [seed, key_space] = GetParam();
+  SparseHashMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(seed);
+  for (int step = 0; step < 30'000; ++step) {
+    const uint64_t key = rng.Below(key_space) * 977;
+    const uint64_t roll = rng.Below(100);
+    if (roll < 45) {
+      const uint64_t value = rng.Next();
+      const bool fresh_map = map.Insert(key, value);
+      const bool fresh_ref = ref.insert_or_assign(key, value).second;
+      ASSERT_EQ(fresh_map, fresh_ref);
+    } else if (roll < 70) {
+      ASSERT_EQ(map.Erase(key), ref.erase(key) > 0);
+    } else {
+      const uint64_t* found = map.Find(key);
+      const auto it = ref.find(key);
+      if (it == ref.end()) {
+        ASSERT_EQ(found, nullptr) << "phantom key " << key;
+      } else {
+        ASSERT_NE(found, nullptr) << "lost key " << key;
+        ASSERT_EQ(*found, it->second);
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  // Full cross-check at the end.
+  size_t visited = 0;
+  map.ForEach([&](uint64_t k, uint64_t v) {
+    ++visited;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    ASSERT_EQ(it->second, v);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDensities, SparseMapPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(50u, 2'000u, 1'000'000u)));
+
+// ---- DenseMap ----
+
+TEST(DenseMapTest, BasicOperations) {
+  DenseMap<uint32_t> map(100, 0xffffffffu);
+  EXPECT_EQ(map.slot_count(), 100u);
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(5), nullptr);
+  EXPECT_TRUE(map.Insert(5, 777));
+  EXPECT_FALSE(map.Insert(5, 778));  // overwrite
+  ASSERT_NE(map.Find(5), nullptr);
+  EXPECT_EQ(*map.Find(5), 778u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.Erase(5));
+  EXPECT_FALSE(map.Erase(5));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(DenseMapTest, MemoryProportionalToSlots) {
+  DenseMap<uint32_t> map(100'000, 0xffffffffu);
+  // Dense cost: every slot pays, used or not — the SSD's problem.
+  EXPECT_GE(map.MemoryUsage(), 100'000u * sizeof(uint32_t));
+  map.Insert(1, 2);
+  EXPECT_GE(map.MemoryUsage(), 100'000u * sizeof(uint32_t));
+}
+
+TEST(DenseMapTest, ForEachSkipsEmpty) {
+  DenseMap<uint32_t> map(50, 0xffffffffu);
+  map.Insert(3, 30);
+  map.Insert(40, 400);
+  std::vector<std::pair<size_t, uint32_t>> seen;
+  map.ForEach([&seen](size_t i, uint32_t v) { seen.emplace_back(i, v); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<size_t, uint32_t>{3, 30}));
+  EXPECT_EQ(seen[1], (std::pair<size_t, uint32_t>{40, 400}));
+}
+
+TEST(DenseMapTest, OutOfRangeFindIsNull) {
+  DenseMap<uint32_t> map(10, 0xffffffffu);
+  EXPECT_EQ(map.Find(10), nullptr);
+  EXPECT_EQ(map.Find(9999), nullptr);
+}
+
+}  // namespace
+}  // namespace flashtier

@@ -1,0 +1,150 @@
+// SE-Merge (SSC-R) specific behaviour: floating log fraction, forward-copy
+// log reclamation, switch-merge-created data blocks, and the policy's
+// cost/benefit relative to SE-Util.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "src/ssc/ssc_device.h"
+#include "src/util/rng.h"
+
+namespace flashtier {
+namespace {
+
+SscConfig MergeConfig(uint64_t capacity_pages = 4096) {
+  SscConfig c;
+  c.capacity_pages = capacity_pages;
+  c.policy = EvictionPolicy::kSeMerge;
+  c.mode = ConsistencyMode::kFull;
+  c.geometry.planes = 4;
+  c.group_commit_ops = 64;
+  return c;
+}
+
+TEST(SeMergeTest, LogFractionFloatsUpToTwentyPercent) {
+  SimClock clock;
+  SscDevice ssc(MergeConfig(), &clock);
+  Rng rng(5);
+  for (uint64_t i = 0; i < 40'000; ++i) {
+    ASSERT_EQ(ssc.WriteClean(rng.Below(3000), i), Status::kOk);
+  }
+  const uint64_t cap_blocks = 4096 / 64;
+  EXPECT_GT(ssc.current_log_blocks(), cap_blocks * 7 / 100);   // beyond SE-Util
+  EXPECT_LE(ssc.current_log_blocks(), cap_blocks * 20 / 100 + 4);  // ~ceiling
+}
+
+TEST(SeMergeTest, OverwriteHeavyTrafficAvoidsFullMerges) {
+  // Heavily-overwritten log blocks are nearly empty when they reach the
+  // merge point: SE-Merge forward-copies the few live pages instead of
+  // rebuilding logical blocks.
+  SimClock clock;
+  SscDevice ssc(MergeConfig(), &clock);
+  Rng rng(7);
+  for (uint64_t i = 0; i < 60'000; ++i) {
+    ASSERT_EQ(ssc.WriteDirty(rng.Below(512), i), Status::kOk);  // hot overwrites
+  }
+  // Cache filling does some full merges (fully-live victims), but in steady
+  // state reclamation is dominated by cheap forward copies.
+  EXPECT_LT(ssc.ftl_stats().full_merges, ssc.ftl_stats().gc_invocations / 2);
+  // Copy volume below host writes (write amplification < 1 extra write).
+  EXPECT_LT(ssc.flash_stats().gc_copies, 60'000u);
+}
+
+TEST(SeMergeTest, CheaperThanSeUtilOnOverwrites) {
+  auto run = [](EvictionPolicy policy) {
+    SimClock clock;
+    SscConfig c = MergeConfig();
+    c.policy = policy;
+    SscDevice ssc(c, &clock);
+    Rng rng(11);
+    for (uint64_t i = 0; i < 50'000; ++i) {
+      ssc.WriteClean(rng.Below(2048), i);
+    }
+    return std::pair<uint64_t, uint64_t>(ssc.flash_stats().gc_copies,
+                                         ssc.flash_stats().erases);
+  };
+  const auto [util_copies, util_erases] = run(EvictionPolicy::kSeUtil);
+  const auto [merge_copies, merge_erases] = run(EvictionPolicy::kSeMerge);
+  // Table 5's shape: SSC-R copies and erases less than SSC.
+  EXPECT_LT(merge_copies, util_copies);
+  EXPECT_LE(merge_erases, util_erases);
+}
+
+TEST(SeMergeTest, SequentialStreamsSwitchMerge) {
+  SimClock clock;
+  SscDevice ssc(MergeConfig(), &clock);
+  // Whole-erase-block sequential writes: log blocks hold exactly one logical
+  // block in order and convert by switch merge, no copying.
+  for (uint64_t pass = 0; pass < 2; ++pass) {
+    for (uint64_t lbn = 0; lbn < 3072; ++lbn) {
+      ASSERT_EQ(ssc.WriteClean(lbn, lbn ^ pass), Status::kOk);
+    }
+  }
+  EXPECT_GT(ssc.ftl_stats().switch_merges, 0u);
+  // Everything readable and newest.
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Lbn lbn = rng.Below(3072);
+    uint64_t token = 0;
+    ASSERT_EQ(ssc.Read(lbn, &token), Status::kOk);
+    EXPECT_EQ(token, lbn ^ 1);
+  }
+}
+
+TEST(SeMergeTest, CorrectUnderMixedWorkloadWithCrash) {
+  SimClock clock;
+  SscConfig config = MergeConfig();
+  config.checkpoint_interval_writes = 2000;
+  SscDevice ssc(config, &clock);
+  Rng rng(13);
+  std::unordered_map<Lbn, uint64_t> newest;
+  for (uint64_t i = 0; i < 20'000; ++i) {
+    const Lbn lbn = rng.Below(2500);
+    const uint64_t roll = rng.Below(10);
+    if (roll < 5) {
+      if (IsOk(ssc.WriteDirty(lbn, i))) {
+        newest[lbn] = i;
+      }
+    } else if (roll < 8) {
+      if (IsOk(ssc.WriteClean(lbn, i))) {
+        newest[lbn] = i;
+      }
+    } else if (roll < 9) {
+      ssc.Clean(lbn);
+    } else {
+      uint64_t t = 0;
+      const Status s = ssc.Read(lbn, &t);
+      const auto it = newest.find(lbn);
+      if (it != newest.end() && IsOk(s)) {
+        ASSERT_EQ(t, it->second) << "stale read at " << lbn << " op " << i;
+      }
+    }
+  }
+  ssc.SimulateCrash();
+  ASSERT_EQ(ssc.Recover(), Status::kOk);
+  for (const auto& [lbn, value] : newest) {
+    uint64_t t = 0;
+    const Status s = ssc.Read(lbn, &t);
+    if (IsOk(s)) {
+      ASSERT_EQ(t, value) << "stale after recovery at " << lbn;
+    }
+  }
+}
+
+TEST(SeMergeTest, ReservedMemoryAccountsMaxLogFraction) {
+  SimClock clock_a;
+  SscConfig util_cfg = MergeConfig();
+  util_cfg.policy = EvictionPolicy::kSeUtil;
+  SscDevice util(util_cfg, &clock_a);
+  SimClock clock_b;
+  SscDevice merge(MergeConfig(), &clock_b);
+  // Table 4: SSC-R roughly 2-3x the SSC's device memory at the same size.
+  const double ratio = static_cast<double>(merge.ReservedDeviceMemoryUsage()) /
+                       static_cast<double>(util.ReservedDeviceMemoryUsage());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 4.0);
+}
+
+}  // namespace
+}  // namespace flashtier

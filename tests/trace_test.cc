@@ -1,0 +1,256 @@
+// Tests for trace sources, file round-trips, synthetic workload generation,
+// and the Table 3 / Figure 1 statistics.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+#include "src/trace/trace.h"
+#include "src/trace/trace_file.h"
+#include "src/trace/trace_stats.h"
+#include "src/trace/workload.h"
+
+namespace flashtier {
+namespace {
+
+TEST(VectorTraceTest, IterationAndRewind) {
+  VectorTrace trace;
+  trace.Append(1, TraceOp::kRead);
+  trace.Append(2, TraceOp::kWrite);
+  TraceRecord r;
+  ASSERT_TRUE(trace.Next(&r));
+  EXPECT_EQ(r.lbn, 1u);
+  EXPECT_EQ(r.op, TraceOp::kRead);
+  ASSERT_TRUE(trace.Next(&r));
+  EXPECT_EQ(r.lbn, 2u);
+  EXPECT_FALSE(trace.Next(&r));
+  trace.Rewind();
+  ASSERT_TRUE(trace.Next(&r));
+  EXPECT_EQ(r.lbn, 1u);
+  EXPECT_EQ(trace.size_hint(), 2u);
+}
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/flashtier_trace_test.fttr";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(TraceFileTest, RoundTrip) {
+  TraceFileWriter writer;
+  ASSERT_EQ(writer.Open(path_), Status::kOk);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(writer.Append({i * 17, i % 3 == 0 ? TraceOp::kWrite : TraceOp::kRead}),
+              Status::kOk);
+  }
+  ASSERT_EQ(writer.Close(), Status::kOk);
+
+  TraceFileReader reader;
+  ASSERT_EQ(reader.Open(path_), Status::kOk);
+  EXPECT_EQ(reader.size_hint(), 1000u);
+  TraceRecord r;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(reader.Next(&r));
+    EXPECT_EQ(r.lbn, i * 17);
+    EXPECT_EQ(r.op, i % 3 == 0 ? TraceOp::kWrite : TraceOp::kRead);
+  }
+  EXPECT_FALSE(reader.Next(&r));
+  reader.Rewind();
+  ASSERT_TRUE(reader.Next(&r));
+  EXPECT_EQ(r.lbn, 0u);
+}
+
+TEST_F(TraceFileTest, DetectsCorruption) {
+  TraceFileWriter writer;
+  ASSERT_EQ(writer.Open(path_), Status::kOk);
+  for (uint64_t i = 0; i < 100; ++i) {
+    writer.Append({i, TraceOp::kWrite});
+  }
+  ASSERT_EQ(writer.Close(), Status::kOk);
+  // Flip one byte in the middle of the record area.
+  FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 24 + 9 * 50 + 3, SEEK_SET);
+  const uint8_t evil = 0x5a;
+  std::fwrite(&evil, 1, 1, f);
+  std::fclose(f);
+
+  TraceFileReader reader;
+  EXPECT_EQ(reader.Open(path_), Status::kCorrupt);
+}
+
+TEST_F(TraceFileTest, RejectsWrongMagic) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  std::fwrite("NOTATRACEFILE____________", 1, 25, f);
+  std::fclose(f);
+  TraceFileReader reader;
+  EXPECT_EQ(reader.Open(path_), Status::kCorrupt);
+}
+
+WorkloadProfile TestProfile() {
+  WorkloadProfile p;
+  p.name = "test";
+  p.range_blocks = 5'000'000;
+  p.unique_blocks = 40'000;
+  p.total_ops = 300'000;
+  p.write_fraction = 0.7;
+  p.seed = 99;
+  return p;
+}
+
+TEST(SyntheticWorkloadTest, DeterministicAcrossInstancesAndRewind) {
+  SyntheticWorkload a(TestProfile());
+  SyntheticWorkload b(TestProfile());
+  TraceRecord ra;
+  TraceRecord rb;
+  for (int i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(a.Next(&ra));
+    ASSERT_TRUE(b.Next(&rb));
+    ASSERT_EQ(ra, rb) << "diverged at " << i;
+  }
+  a.Rewind();
+  SyntheticWorkload c(TestProfile());
+  TraceRecord rc;
+  for (int i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(a.Next(&ra));
+    ASSERT_TRUE(c.Next(&rc));
+    ASSERT_EQ(ra, rc) << "rewind diverged at " << i;
+  }
+}
+
+TEST(SyntheticWorkloadTest, ProducesExactlyTotalOps) {
+  SyntheticWorkload w(TestProfile());
+  TraceRecord r;
+  uint64_t n = 0;
+  while (w.Next(&r)) {
+    ++n;
+  }
+  EXPECT_EQ(n, TestProfile().total_ops);
+}
+
+TEST(SyntheticWorkloadTest, StaysInRangeAndInWorkingSet) {
+  SyntheticWorkload w(TestProfile());
+  std::unordered_set<Lbn> working_set(w.working_set().begin(), w.working_set().end());
+  EXPECT_EQ(working_set.size(), TestProfile().unique_blocks);
+  TraceRecord r;
+  while (w.Next(&r)) {
+    ASSERT_LT(r.lbn, TestProfile().range_blocks);
+    ASSERT_TRUE(working_set.count(r.lbn)) << r.lbn;
+  }
+}
+
+TEST(SyntheticWorkloadTest, MatchesTargetStatistics) {
+  SyntheticWorkload w(TestProfile());
+  TraceStats stats;
+  stats.Consume(w);
+  EXPECT_EQ(stats.total_ops(), 300'000u);
+  EXPECT_NEAR(stats.write_fraction(), 0.7, 0.02);
+  // Most of the working set should be touched (hot Zipf head + cold sweep).
+  EXPECT_GT(stats.unique_blocks(), 15'000u);
+  EXPECT_LE(stats.unique_blocks(), 40'000u);
+}
+
+TEST(SyntheticWorkloadTest, AccessSkewSupportsCaching) {
+  // The top 25% most-accessed blocks must absorb the bulk of accesses —
+  // the property Section 2 builds the cache sizing on.
+  SyntheticWorkload w(TestProfile());
+  TraceStats stats;
+  stats.Consume(w);
+  const double top = stats.MeanAccessesPerBlock(0.25);
+  const double all = stats.MeanAccessesPerBlock(1.0);
+  EXPECT_GT(top, 2.5 * all);
+}
+
+TEST(SyntheticWorkloadTest, WriteHeavyTracesConcentrateWritesOnHotBlocks) {
+  // Section 2: writes/block of the top 25% is ~4x the whole-trace average in
+  // write-intensive traces.
+  WorkloadProfile p = TestProfile();
+  p.write_fraction = 0.95;
+  SyntheticWorkload w(p);
+  TraceStats stats;
+  stats.Consume(w);
+  EXPECT_GT(stats.MeanWritesPerBlock(0.25), 2.5 * stats.MeanWritesPerBlock(1.0));
+}
+
+TEST(TraceStatsTest, RegionDensitiesSparse) {
+  SyntheticWorkload w(TestProfile());
+  TraceStats stats;
+  stats.Consume(w);
+  const auto densities = stats.RegionDensities(0.25);
+  ASSERT_FALSE(densities.empty());
+  // Sorted ascending.
+  for (size_t i = 1; i < densities.size(); ++i) {
+    ASSERT_LE(densities[i - 1], densities[i]);
+  }
+  // Figure 1's shape: a large share of regions only have a small fraction of
+  // their blocks referenced.
+  EXPECT_GT(stats.FractionOfRegionsBelow(0.25, 1.0), 0.3);
+}
+
+TEST(TraceStatsTest, CountsAndRange) {
+  TraceStats stats;
+  stats.Add({100, TraceOp::kWrite});
+  stats.Add({100, TraceOp::kRead});
+  stats.Add({5000, TraceOp::kWrite});
+  EXPECT_EQ(stats.total_ops(), 3u);
+  EXPECT_EQ(stats.writes(), 2u);
+  EXPECT_EQ(stats.unique_blocks(), 2u);
+  EXPECT_EQ(stats.range_bytes(), 5001u * 4096u);
+  EXPECT_DOUBLE_EQ(stats.write_fraction(), 2.0 / 3.0);
+}
+
+TEST(TraceStatsTest, TopBlocksOrderedByAccessCount) {
+  TraceStats stats;
+  for (int i = 0; i < 10; ++i) {
+    stats.Add({1, TraceOp::kRead});
+  }
+  for (int i = 0; i < 5; ++i) {
+    stats.Add({2, TraceOp::kRead});
+  }
+  stats.Add({3, TraceOp::kRead});
+  const auto top1 = stats.TopBlocks(0.34);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0], 1u);
+  const auto top2 = stats.TopBlocks(0.67);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[1], 2u);
+}
+
+TEST(WorkloadProfilesTest, PaperScaleMatchesTable3) {
+  // At scale 1.0 the profiles carry the paper's replayed sizes.
+  const WorkloadProfile homes = HomesProfile(1.0);
+  EXPECT_EQ(homes.total_ops, 17'836'701u);
+  EXPECT_EQ(homes.unique_blocks, 1'684'407u);
+  EXPECT_NEAR(homes.write_fraction, 0.959, 1e-9);
+  EXPECT_EQ(homes.RangeBytes(), 532ull << 30);
+
+  const WorkloadProfile mail = MailProfile(1.0);
+  EXPECT_EQ(mail.total_ops, 20'000'000u);  // replayed prefix, Section 6.1
+  EXPECT_NEAR(mail.write_fraction, 0.885, 1e-9);
+
+  const WorkloadProfile usr = UsrProfile(1.0);
+  EXPECT_NEAR(usr.write_fraction, 0.059, 1e-9);
+  const WorkloadProfile proj = ProjProfile(1.0);
+  EXPECT_NEAR(proj.write_fraction, 0.142, 1e-9);
+  EXPECT_EQ(proj.RangeBytes(), 816ull << 30);
+
+  EXPECT_EQ(AllProfiles(0.1).size(), 4u);
+}
+
+TEST(WorkloadProfilesTest, ScalingIsLinear) {
+  const WorkloadProfile full = HomesProfile(1.0);
+  const WorkloadProfile tenth = HomesProfile(0.1);
+  EXPECT_NEAR(static_cast<double>(tenth.total_ops),
+              static_cast<double>(full.total_ops) * 0.1, 1.0);
+  EXPECT_NEAR(static_cast<double>(tenth.unique_blocks),
+              static_cast<double>(full.unique_blocks) * 0.1, 1.0);
+  EXPECT_EQ(tenth.write_fraction, full.write_fraction);
+}
+
+}  // namespace
+}  // namespace flashtier

@@ -1,0 +1,285 @@
+// Unit tests for src/util: CRC32-C, Bitmap, RNG/Zipf, statistics, args.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/args.h"
+#include "src/util/bitmap.h"
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace flashtier {
+namespace {
+
+// ---- CRC32-C ----
+
+TEST(Crc32cTest, KnownVectors) {
+  // iSCSI/RFC 3720 test vectors for CRC32-C.
+  const uint8_t zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, 32), 0x8a9136aau);
+
+  uint8_t ones[32];
+  for (auto& b : ones) {
+    b = 0xff;
+  }
+  EXPECT_EQ(Crc32c(ones, 32), 0x62a8ab43u);
+
+  const std::string s = "123456789";
+  EXPECT_EQ(Crc32c(s.data(), s.size()), 0xe3069283u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "FlashTier: a lightweight, consistent and durable storage cache";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  uint32_t inc = 0;
+  for (size_t split = 1; split < data.size(); ++split) {
+    inc = Crc32c(0, data.data(), split);
+    inc = Crc32c(inc, data.data() + split, data.size() - split);
+    EXPECT_EQ(inc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  uint8_t buf[64] = {1, 2, 3, 4, 5};
+  const uint32_t base = Crc32c(buf, sizeof(buf));
+  for (int byte = 0; byte < 64; byte += 7) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      buf[byte] ^= static_cast<uint8_t>(1 << bit);
+      EXPECT_NE(Crc32c(buf, sizeof(buf)), base);
+      buf[byte] ^= static_cast<uint8_t>(1 << bit);
+    }
+  }
+}
+
+// ---- Bitmap ----
+
+TEST(BitmapTest, SetClearTest) {
+  Bitmap bm(200);
+  EXPECT_EQ(bm.size(), 200u);
+  EXPECT_EQ(bm.Count(), 0u);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(199));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_EQ(bm.Count(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.Count(), 3u);
+}
+
+TEST(BitmapTest, RankMatchesNaiveCount) {
+  Bitmap bm(500);
+  Rng rng(3);
+  std::vector<bool> ref(500, false);
+  for (int i = 0; i < 200; ++i) {
+    const size_t pos = rng.Below(500);
+    bm.Set(pos);
+    ref[pos] = true;
+  }
+  for (size_t i = 0; i <= 500; i += 13) {
+    size_t naive = 0;
+    for (size_t j = 0; j < i && j < 500; ++j) {
+      naive += ref[j] ? 1 : 0;
+    }
+    EXPECT_EQ(bm.RankBelow(std::min<size_t>(i, 500)), naive) << i;
+  }
+}
+
+TEST(BitmapTest, FindFirstSet) {
+  Bitmap bm(300);
+  EXPECT_EQ(bm.FindFirstSet(), 300u);
+  bm.Set(5);
+  bm.Set(130);
+  bm.Set(299);
+  EXPECT_EQ(bm.FindFirstSet(), 5u);
+  EXPECT_EQ(bm.FindFirstSet(6), 130u);
+  EXPECT_EQ(bm.FindFirstSet(131), 299u);
+  EXPECT_EQ(bm.FindFirstSet(300), 300u);
+}
+
+TEST(BitmapTest, AssignAndReset) {
+  Bitmap bm(64);
+  bm.Assign(10, true);
+  EXPECT_TRUE(bm.Test(10));
+  bm.Assign(10, false);
+  EXPECT_FALSE(bm.Test(10));
+  bm.Set(1);
+  bm.Set(2);
+  bm.Reset();
+  EXPECT_EQ(bm.Count(), 0u);
+}
+
+// ---- RNG ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    const uint64_t v = rng.Below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 8'000);
+    EXPECT_LT(c, 12'000);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, SamplesInRangeAndSkewed) {
+  const double s = GetParam();
+  const uint64_t n = 10'000;
+  ZipfSampler zipf(n, s);
+  Rng rng(11);
+  std::vector<uint32_t> counts(n, 0);
+  const int samples = 200'000;
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t v = zipf.Sample(rng);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  // Rank 0 must be the most popular, and the top 1% must hold a
+  // disproportionate share of mass.
+  uint64_t top = 0;
+  for (uint64_t i = 0; i < n / 100; ++i) {
+    top += counts[i];
+  }
+  EXPECT_GT(counts[0], counts[n - 1]);
+  EXPECT_GT(static_cast<double>(top) / samples, 0.02);  // >> uniform's 1%
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfTest, ::testing::Values(0.8, 0.95, 1.0, 1.05, 1.2));
+
+TEST(ZipfTest, Rank0FrequencyMatchesTheory) {
+  // For s=1, P(rank 0) = 1/H_n. With n=1000, H_1000 ~ 7.485.
+  const uint64_t n = 1000;
+  ZipfSampler zipf(n, 1.0);
+  Rng rng(13);
+  int hits = 0;
+  const int samples = 300'000;
+  for (int i = 0; i < samples; ++i) {
+    if (zipf.Sample(rng) == 0) {
+      ++hits;
+    }
+  }
+  const double p = static_cast<double>(hits) / samples;
+  EXPECT_NEAR(p, 1.0 / 7.485, 0.015);
+}
+
+// ---- Stats ----
+
+TEST(RunningStatTest, Basics) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  s.Add(2.0);
+  s.Add(4.0);
+  s.Add(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(LatencyHistogramTest, MeanAndMax) {
+  LatencyHistogram h;
+  h.Add(100);
+  h.Add(200);
+  h.Add(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+  EXPECT_EQ(h.max(), 300u);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotoneAndBracketing) {
+  LatencyHistogram h;
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    h.Add(rng.Below(100'000));
+  }
+  const uint64_t p50 = h.Quantile(0.5);
+  const uint64_t p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p99);
+  // log2 buckets: the true median ~50000 lies in [32768, 65535].
+  EXPECT_GE(p50, 32767u);
+  EXPECT_LE(p50, 65535u);
+}
+
+TEST(LatencyHistogramTest, ZeroValues) {
+  LatencyHistogram h;
+  h.Add(0);
+  h.Add(0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+// ---- Args ----
+
+TEST(ArgParserTest, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--ops=500", "--name", "homes", "--verbose"};
+  ArgParser args(5, const_cast<char**>(argv));
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.GetInt("ops", 0), 500);
+  EXPECT_EQ(args.GetString("name", ""), "homes");
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  EXPECT_EQ(args.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.GetDouble("missing", 1.5), 1.5);
+}
+
+TEST(ArgParserTest, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  ArgParser args(2, const_cast<char**>(argv));
+  EXPECT_FALSE(args.ok());
+  EXPECT_NE(args.error().find("oops"), std::string::npos);
+}
+
+TEST(ArgParserTest, DoubleParsing) {
+  const char* argv[] = {"prog", "--scale=0.25"};
+  ArgParser args(2, const_cast<char**>(argv));
+  ASSERT_TRUE(args.ok());
+  EXPECT_DOUBLE_EQ(args.GetDouble("scale", 1.0), 0.25);
+}
+
+}  // namespace
+}  // namespace flashtier

@@ -1,0 +1,64 @@
+// trace_stat — print Table 3-style characteristics and the Figure 1 region
+// density distribution of a binary trace file.
+//
+//   trace_stat --in=/tmp/homes.fttr [--top=0.25]
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/trace/trace_file.h"
+#include "src/trace/trace_stats.h"
+#include "src/util/args.h"
+
+using namespace flashtier;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return 1;
+  }
+  const std::string in = args.GetString("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "usage: trace_stat --in=FILE [--top=0.25]\n");
+    return 1;
+  }
+  const double top = args.GetDouble("top", 0.25);
+
+  TraceFileReader reader;
+  const Status open = reader.Open(in);
+  if (!IsOk(open)) {
+    std::fprintf(stderr, "cannot read %s: %s\n", in.c_str(), StatusName(open).data());
+    return 1;
+  }
+  TraceStats stats;
+  stats.Consume(reader);
+
+  std::printf("trace          : %s\n", in.c_str());
+  std::printf("records        : %" PRIu64 "  (%.1f%% writes)\n", stats.total_ops(),
+              100.0 * stats.write_fraction());
+  std::printf("unique blocks  : %" PRIu64 "\n", stats.unique_blocks());
+  std::printf("address range  : %.1f GB\n",
+              static_cast<double>(stats.range_bytes()) / (1ull << 30));
+  std::printf("accesses/block : %.2f (all)   %.2f (top %.0f%%)\n",
+              stats.MeanAccessesPerBlock(1.0), stats.MeanAccessesPerBlock(top), top * 100);
+  std::printf("writes/block   : %.2f (all)   %.2f (top %.0f%%)\n",
+              stats.MeanWritesPerBlock(1.0), stats.MeanWritesPerBlock(top), top * 100);
+
+  const auto densities = stats.RegionDensities(top);
+  std::printf("\nregion density (top %.0f%% blocks, 100k-block regions, %zu regions):\n",
+              top * 100, densities.size());
+  for (const uint64_t decade : {1ull, 10ull, 100ull, 1'000ull, 10'000ull, 100'000ull}) {
+    size_t below = 0;
+    for (uint64_t d : densities) {
+      if (d < decade) {
+        ++below;
+      }
+    }
+    std::printf("  < %6" PRIu64 " blocks referenced: %5.1f%% of regions\n", decade,
+                densities.empty() ? 0.0
+                                  : 100.0 * static_cast<double>(below) /
+                                        static_cast<double>(densities.size()));
+  }
+  return 0;
+}
