@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_envelope.dir/bench_device_envelope.cc.o"
+  "CMakeFiles/bench_device_envelope.dir/bench_device_envelope.cc.o.d"
+  "bench_device_envelope"
+  "bench_device_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gc.dir/bench_fig6_gc.cc.o"
+  "CMakeFiles/bench_fig6_gc.dir/bench_fig6_gc.cc.o.d"
+  "bench_fig6_gc"
+  "bench_fig6_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

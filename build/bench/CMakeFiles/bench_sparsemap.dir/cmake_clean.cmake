@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparsemap.dir/bench_sparsemap.cc.o"
+  "CMakeFiles/bench_sparsemap.dir/bench_sparsemap.cc.o.d"
+  "bench_sparsemap"
+  "bench_sparsemap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparsemap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

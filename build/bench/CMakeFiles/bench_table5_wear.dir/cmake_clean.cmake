@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_wear.dir/bench_table5_wear.cc.o"
+  "CMakeFiles/bench_table5_wear.dir/bench_table5_wear.cc.o.d"
+  "bench_table5_wear"
+  "bench_table5_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailserver_writeback.dir/mailserver_writeback.cpp.o"
+  "CMakeFiles/mailserver_writeback.dir/mailserver_writeback.cpp.o.d"
+  "mailserver_writeback"
+  "mailserver_writeback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailserver_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

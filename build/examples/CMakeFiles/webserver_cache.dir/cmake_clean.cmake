@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_cache.dir/webserver_cache.cpp.o"
+  "CMakeFiles/webserver_cache.dir/webserver_cache.cpp.o.d"
+  "webserver_cache"
+  "webserver_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

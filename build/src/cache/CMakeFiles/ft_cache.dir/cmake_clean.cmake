@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_cache.dir/dirty_table.cc.o"
+  "CMakeFiles/ft_cache.dir/dirty_table.cc.o.d"
+  "CMakeFiles/ft_cache.dir/native.cc.o"
+  "CMakeFiles/ft_cache.dir/native.cc.o.d"
+  "CMakeFiles/ft_cache.dir/write_back.cc.o"
+  "CMakeFiles/ft_cache.dir/write_back.cc.o.d"
+  "CMakeFiles/ft_cache.dir/write_through.cc.o"
+  "CMakeFiles/ft_cache.dir/write_through.cc.o.d"
+  "libft_cache.a"
+  "libft_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_core.dir/flashtier.cc.o"
+  "CMakeFiles/ft_core.dir/flashtier.cc.o.d"
+  "CMakeFiles/ft_core.dir/replay.cc.o"
+  "CMakeFiles/ft_core.dir/replay.cc.o.d"
+  "libft_core.a"
+  "libft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_disk.dir/disk_model.cc.o"
+  "CMakeFiles/ft_disk.dir/disk_model.cc.o.d"
+  "libft_disk.a"
+  "libft_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_flash.dir/flash_device.cc.o"
+  "CMakeFiles/ft_flash.dir/flash_device.cc.o.d"
+  "libft_flash.a"
+  "libft_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_ftl.dir/block_allocator.cc.o"
+  "CMakeFiles/ft_ftl.dir/block_allocator.cc.o.d"
+  "libft_ftl.a"
+  "libft_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

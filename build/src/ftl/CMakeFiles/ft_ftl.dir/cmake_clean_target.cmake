@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libft_ftl.a"
+)

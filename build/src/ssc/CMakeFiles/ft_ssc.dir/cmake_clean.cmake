@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_ssc.dir/persist.cc.o"
+  "CMakeFiles/ft_ssc.dir/persist.cc.o.d"
+  "CMakeFiles/ft_ssc.dir/ssc_device.cc.o"
+  "CMakeFiles/ft_ssc.dir/ssc_device.cc.o.d"
+  "libft_ssc.a"
+  "libft_ssc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_ssc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_ssd.dir/ssd_ftl.cc.o"
+  "CMakeFiles/ft_ssd.dir/ssd_ftl.cc.o.d"
+  "libft_ssd.a"
+  "libft_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace_file.cc" "src/trace/CMakeFiles/ft_trace.dir/trace_file.cc.o" "gcc" "src/trace/CMakeFiles/ft_trace.dir/trace_file.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/trace/CMakeFiles/ft_trace.dir/trace_stats.cc.o" "gcc" "src/trace/CMakeFiles/ft_trace.dir/trace_stats.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/trace/CMakeFiles/ft_trace.dir/workload.cc.o" "gcc" "src/trace/CMakeFiles/ft_trace.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_trace.dir/trace_file.cc.o"
+  "CMakeFiles/ft_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/ft_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/ft_trace.dir/trace_stats.cc.o.d"
+  "CMakeFiles/ft_trace.dir/workload.cc.o"
+  "CMakeFiles/ft_trace.dir/workload.cc.o.d"
+  "libft_trace.a"
+  "libft_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_util.dir/args.cc.o"
+  "CMakeFiles/ft_util.dir/args.cc.o.d"
+  "CMakeFiles/ft_util.dir/crc32.cc.o"
+  "CMakeFiles/ft_util.dir/crc32.cc.o.d"
+  "libft_util.a"
+  "libft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/disk_test.cc" "tests/CMakeFiles/disk_test.dir/disk_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ft_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssc/CMakeFiles/ft_ssc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ft_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/ft_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ft_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/ft_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ft_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsemap_test.dir/sparsemap_test.cc.o"
+  "CMakeFiles/sparsemap_test.dir/sparsemap_test.cc.o.d"
+  "sparsemap_test"
+  "sparsemap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsemap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssc_semerge_test.dir/ssc_semerge_test.cc.o"
+  "CMakeFiles/ssc_semerge_test.dir/ssc_semerge_test.cc.o.d"
+  "ssc_semerge_test"
+  "ssc_semerge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssc_semerge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

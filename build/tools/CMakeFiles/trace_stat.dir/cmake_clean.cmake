@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_stat.dir/trace_stat.cc.o"
+  "CMakeFiles/trace_stat.dir/trace_stat.cc.o.d"
+  "trace_stat"
+  "trace_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
