@@ -41,7 +41,8 @@ inline std::vector<WorkloadProfile> BenchProfiles(const ArgParser& args) {
   const double factor = args.GetDouble("scale", 1.0);
   const std::string only = args.GetString("workload", "");
   std::vector<WorkloadProfile> out;
-  for (const std::string& name : {"homes", "mail", "usr", "proj"}) {
+  for (const char* profile : {"homes", "mail", "usr", "proj"}) {
+    const std::string name = profile;
     if (!only.empty() && only != name) {
       continue;
     }

@@ -25,6 +25,8 @@
 
 namespace flashtier {
 
+class InvariantChecker;
+
 class WriteBackManager final : public CacheManager {
  public:
   struct Options {
@@ -67,6 +69,9 @@ class WriteBackManager final : public CacheManager {
   uint64_t RecoverDirtyTable();
 
  private:
+  friend class InvariantChecker;
+  friend class CheckTestPeer;  // injects corruption in invariant-checker tests
+
   // Cleans LRU dirty blocks until the table is below the threshold.
   Status CleanToThreshold();
   // Cleans the contiguous dirty run containing `seed` (one disk write).

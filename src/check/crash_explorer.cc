@@ -1,0 +1,363 @@
+#include "src/check/crash_explorer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/check/invariant_checker.h"
+#include "src/util/bitmap.h"
+#include "src/util/rng.h"
+
+namespace flashtier {
+
+namespace {
+
+// Thrown by the commit-point hook to simulate power failure at that exact
+// instant. Unwinding abandons only device-RAM state, which SimulateCrash
+// wipes anyway; the medium and the durable log/checkpoint regions keep
+// whatever had been committed before the throw.
+struct CrashInjected {};
+
+std::string FmtViolation(const char* guarantee, Lbn lbn, const char* what) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer), "%s: lbn %llu %s", guarantee, (unsigned long long)lbn,
+                what);
+  return std::string(buffer);
+}
+
+}  // namespace
+
+std::string CrashExplorerReport::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "explored %llu of %llu commit points: %llu violations in %llu trials",
+                (unsigned long long)points_explored, (unsigned long long)total_commit_points,
+                (unsigned long long)violation_count, (unsigned long long)trials_with_violations);
+  std::string out(buffer);
+  for (const std::string& s : samples) {
+    out += "\n  ";
+    out += s;
+  }
+  if (violation_count > samples.size() && !samples.empty()) {
+    out += "\n  ...";
+  }
+  return out;
+}
+
+CrashExplorer::CrashExplorer(const CrashExplorerOptions& options) : options_(options) {}
+
+SscConfig CrashExplorer::DeviceConfig() const {
+  SscConfig config;
+  config.capacity_pages = options_.capacity_pages;
+  config.policy = options_.policy;
+  config.mode = options_.mode;
+  config.group_commit_ops = options_.group_commit_ops;
+  config.checkpoint_interval_writes = options_.checkpoint_interval_writes;
+  return config;
+}
+
+std::vector<CrashExplorer::ScriptedOp> CrashExplorer::BuildScript() const {
+  Rng rng(options_.seed);
+  std::vector<ScriptedOp> script;
+  script.reserve(options_.ops);
+  // Half the traffic hits a hot eighth of the address space so the run
+  // exercises overwrites (the InvalidateOldVersion paths) as well as misses.
+  const uint64_t hot = std::max<uint64_t>(1, options_.address_blocks / 8);
+  uint64_t next_token = 1;
+  for (uint32_t i = 0; i < options_.ops; ++i) {
+    ScriptedOp op;
+    op.lbn = rng.Chance(0.5) ? rng.Below(hot) : rng.Below(options_.address_blocks);
+    const uint64_t roll = rng.Below(100);
+    if (roll < 40) {
+      op.kind = OpKind::kWriteDirty;
+      op.token = next_token++;
+    } else if (roll < 60) {
+      op.kind = OpKind::kWriteClean;
+      op.token = next_token++;
+    } else if (roll < 75) {
+      op.kind = OpKind::kRead;
+    } else if (roll < 87) {
+      op.kind = OpKind::kClean;
+    } else if (roll < 95) {
+      op.kind = OpKind::kEvict;
+    } else {
+      op.kind = OpKind::kCollect;
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& script,
+                                                 uint64_t crash_point, uint64_t* points_out) {
+  SimClock clock;
+  SscDevice ssc(DeviceConfig(), &clock);
+  std::vector<ShadowEntry> shadow(options_.address_blocks);
+  std::vector<std::string> violations;
+
+  uint64_t points = 0;
+  const bool trace = options_.verbose && crash_point == ~uint64_t{0};
+  ssc.persist_for_testing()->set_commit_point_hook_for_testing(
+      [&points, crash_point, trace](CommitPoint p) {
+        if (trace) {
+          std::fprintf(stderr, "flashcheck: point %llu = %s\n", (unsigned long long)points,
+                       CommitPointName(p));
+        }
+        if (points++ == crash_point) {
+          throw CrashInjected{};
+        }
+      });
+
+  bool crashed = false;
+  size_t in_flight = script.size();
+  for (size_t i = 0; i < script.size() && !crashed; ++i) {
+    const ScriptedOp& op = script[i];
+    ShadowEntry& entry = op.kind == OpKind::kCollect ? shadow[0] : shadow[op.lbn];
+    Status s = Status::kOk;
+    uint64_t read_token = 0;
+    try {
+      switch (op.kind) {
+        case OpKind::kWriteDirty:
+          s = ssc.WriteDirty(op.lbn, op.token);
+          break;
+        case OpKind::kWriteClean:
+          s = ssc.WriteClean(op.lbn, op.token);
+          break;
+        case OpKind::kRead:
+          s = ssc.Read(op.lbn, &read_token);
+          break;
+        case OpKind::kClean:
+          s = ssc.Clean(op.lbn);
+          break;
+        case OpKind::kEvict:
+          s = ssc.Evict(op.lbn);
+          break;
+        case OpKind::kCollect:
+          ssc.BackgroundCollect(/*budget_us=*/20'000);
+          break;
+      }
+    } catch (const CrashInjected&) {
+      crashed = true;
+      in_flight = i;
+      break;
+    }
+
+    // The operation completed: it is acknowledged, so the guarantees attach.
+    // Verify read-backs against the shadow model as we go (a pre-crash stale
+    // read would be a plain FTL bug, worth catching in the same harness).
+    switch (op.kind) {
+      case OpKind::kWriteDirty:
+        if (IsOk(s)) {
+          entry = {ShadowState::kDirty, op.token};
+        } else if (s != Status::kNoSpace) {
+          violations.push_back(FmtViolation("pre-crash", op.lbn, "write-dirty failed"));
+        }
+        break;
+      case OpKind::kWriteClean:
+        if (IsOk(s)) {
+          entry = {ShadowState::kClean, op.token};
+        } else if (s != Status::kNoSpace) {
+          violations.push_back(FmtViolation("pre-crash", op.lbn, "write-clean failed"));
+        }
+        break;
+      case OpKind::kRead:
+        switch (entry.state) {
+          case ShadowState::kNone:
+          case ShadowState::kEvicted:
+            if (s != Status::kNotPresent) {
+              violations.push_back(
+                  FmtViolation("pre-crash G3", op.lbn, "read hit after evict/never-written"));
+            }
+            break;
+          case ShadowState::kDirty:
+            if (!IsOk(s) || read_token != entry.token) {
+              violations.push_back(FmtViolation("pre-crash G1", op.lbn, "dirty data lost"));
+            }
+            break;
+          case ShadowState::kClean:
+          case ShadowState::kCleaned:
+            if (IsOk(s) ? read_token != entry.token : s != Status::kNotPresent) {
+              violations.push_back(FmtViolation("pre-crash G2", op.lbn, "stale clean read"));
+            }
+            break;
+        }
+        break;
+      case OpKind::kClean:
+        if (IsOk(s)) {
+          if (entry.state == ShadowState::kDirty) {
+            entry.state = ShadowState::kCleaned;
+          } else if (entry.state == ShadowState::kNone || entry.state == ShadowState::kEvicted) {
+            violations.push_back(FmtViolation("pre-crash G3", op.lbn, "clean hit after evict"));
+          }
+        } else if (s == Status::kNotPresent) {
+          if (entry.state == ShadowState::kDirty) {
+            violations.push_back(FmtViolation("pre-crash G1", op.lbn, "dirty block vanished"));
+          }
+        }
+        break;
+      case OpKind::kEvict:
+        entry = {ShadowState::kEvicted, 0};
+        break;
+      case OpKind::kCollect:
+        break;
+    }
+  }
+
+  ssc.persist_for_testing()->set_commit_point_hook_for_testing(nullptr);
+  if (points_out != nullptr) {
+    *points_out = points;
+  }
+
+  // Power failure (also applied when the script ran to completion: a crash
+  // at quiescence must preserve every acknowledged operation), then recover.
+  if (options_.break_recovery) {
+    ssc.persist_for_testing()->set_skip_log_tail_replay_for_testing(true);
+  }
+  ssc.SimulateCrash();
+  ssc.Recover();
+
+  if (options_.run_invariant_checker) {
+    const CheckReport structural = InvariantChecker::Check(ssc);
+    for (const InvariantViolation& v : structural.violations) {
+      violations.push_back("post-recovery invariant [" + v.invariant + "] " + v.detail);
+    }
+  }
+
+  // Verify every block of the address space against the shadow model.
+  const ScriptedOp* pending =
+      crashed && in_flight < script.size() ? &script[in_flight] : nullptr;
+  for (Lbn lbn = 0; lbn < options_.address_blocks; ++lbn) {
+    const ShadowEntry& entry = shadow[lbn];
+    const bool lbn_in_flight = pending != nullptr && pending->lbn == lbn &&
+                               pending->kind != OpKind::kRead &&
+                               pending->kind != OpKind::kCollect;
+
+    // Allowed outcomes for the *acknowledged* state.
+    bool allow_not_present = false;
+    bool require_dirty = false;
+    uint64_t allowed_tokens[2] = {0, 0};
+    int allowed_count = 0;
+    switch (entry.state) {
+      case ShadowState::kNone:
+      case ShadowState::kEvicted:
+        allow_not_present = true;
+        break;
+      case ShadowState::kDirty:
+        allowed_tokens[allowed_count++] = entry.token;
+        require_dirty = true;  // G1: still dirty, or it could be silently lost
+        break;
+      case ShadowState::kClean:
+      case ShadowState::kCleaned:
+        allowed_tokens[allowed_count++] = entry.token;
+        allow_not_present = true;  // silent eviction may have dropped it
+        break;
+    }
+    // The in-flight operation may or may not have taken effect.
+    if (lbn_in_flight) {
+      require_dirty = false;
+      switch (pending->kind) {
+        case OpKind::kWriteDirty:
+        case OpKind::kWriteClean:
+          allowed_tokens[allowed_count++] = pending->token;
+          // The new version's record may be lost — but an overwrite of
+          // acknowledged dirty data must not tear: recovery surfaces the old
+          // version or the new one, never neither (the atomic remove+insert
+          // batch in SscDevice::WriteInternal).
+          if (entry.state != ShadowState::kDirty) {
+            allow_not_present = true;
+          }
+          break;
+        case OpKind::kEvict:
+          allow_not_present = true;
+          break;
+        case OpKind::kClean:
+        case OpKind::kRead:
+        case OpKind::kCollect:
+          break;
+      }
+    }
+
+    uint64_t token = 0;
+    const Status s = ssc.Read(lbn, &token);
+    if (s == Status::kNotPresent) {
+      if (!allow_not_present) {
+        violations.push_back(FmtViolation(
+            entry.state == ShadowState::kDirty ? "G1" : "recovery", lbn,
+            "acknowledged data missing after recovery"));
+      }
+      continue;
+    }
+    if (!IsOk(s)) {
+      violations.push_back(FmtViolation("recovery", lbn, "read error after recovery"));
+      continue;
+    }
+    const bool token_allowed = (allowed_count > 0 && token == allowed_tokens[0]) ||
+                               (allowed_count > 1 && token == allowed_tokens[1]);
+    if (!token_allowed) {
+      // Any unexpected token is stale data: the exact failure G2 forbids
+      // (and for dirty blocks, a torn G1).
+      violations.push_back(FmtViolation(
+          entry.state == ShadowState::kDirty ? "G1" : "G2", lbn,
+          allowed_count == 0 ? "read returned data for an evicted/never-written block"
+                             : "read returned stale data after recovery"));
+      continue;
+    }
+    if (require_dirty) {
+      Bitmap dirty_map;
+      ssc.Exists(lbn, 1, &dirty_map);
+      if (!dirty_map.Test(0)) {
+        violations.push_back(FmtViolation(
+            "G1", lbn, "acknowledged dirty block recovered clean (could be silently lost)"));
+      }
+    }
+  }
+  return violations;
+}
+
+CrashExplorerReport CrashExplorer::Explore() {
+  CrashExplorerReport report;
+  const std::vector<ScriptedOp> script = BuildScript();
+
+  // Crash-free pass: count the commit points this workload crosses (the
+  // script is deterministic, so every trial sees the same sequence). The
+  // trial still ends with a quiescent crash + recovery, which must be clean.
+  uint64_t total_points = 0;
+  std::vector<std::string> baseline =
+      RunTrial(script, /*crash_point=*/~uint64_t{0}, &total_points);
+  report.total_commit_points = total_points;
+  if (!baseline.empty()) {
+    ++report.trials_with_violations;
+    report.violation_count += baseline.size();
+    for (std::string& v : baseline) {
+      if (report.samples.size() < CrashExplorerReport::kMaxSamples) {
+        report.samples.push_back("[crash-free] " + std::move(v));
+      }
+    }
+  }
+
+  const uint32_t stride = std::max<uint32_t>(1, options_.stride);
+  for (uint64_t point = 0; point < total_points; point += stride) {
+    if (options_.max_points != 0 && report.points_explored >= options_.max_points) {
+      break;
+    }
+    std::vector<std::string> found = RunTrial(script, point, nullptr);
+    ++report.points_explored;
+    if (!found.empty()) {
+      ++report.trials_with_violations;
+      report.violation_count += found.size();
+      for (std::string& v : found) {
+        if (options_.verbose) {
+          std::fprintf(stderr, "flashcheck: crash point %llu: %s\n", (unsigned long long)point,
+                       v.c_str());
+        }
+        if (report.samples.size() < CrashExplorerReport::kMaxSamples) {
+          char prefix[48];
+          std::snprintf(prefix, sizeof(prefix), "[point %llu] ", (unsigned long long)point);
+          report.samples.push_back(prefix + std::move(v));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace flashtier

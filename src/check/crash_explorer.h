@@ -1,0 +1,127 @@
+// FlashCheck crash-point model checker.
+//
+// The paper states FlashTier's consistency contract as three guarantees:
+//   G1  write-dirty data is durable when the request completes,
+//   G2  a read after write-clean returns the new data or not-present —
+//       never an older version,
+//   G3  a read after an acknowledged evict returns not-present.
+//
+// This explorer turns those sentences into an exhaustively checked property.
+// It scripts a deterministic mixed workload (write-dirty / write-clean /
+// read / clean / evict / background GC), counts every durability commit
+// point the run crosses (each log append, flush boundary, checkpoint
+// boundary, and silent-eviction erase barrier), then replays the same
+// workload once per commit point with a crash injected at exactly that
+// point. After each crash it runs recovery and verifies the recovered cache
+// against a shadow model of acknowledged operations:
+//
+//   * an acknowledged write-dirty must read back its exact data, dirty;
+//   * an acknowledged write-clean must read back its data or not-present;
+//   * an acknowledged evict must read not-present;
+//   * a cleaned block may revert to dirty, read its data, or be gone;
+//   * the operation in flight at the crash may or may not have happened —
+//     both its before- and after-states are accepted, anything else is a
+//     violation (in particular any stale token, which is how G2 breaks).
+//
+// Crashes are injected by a PersistenceManager commit-point hook that throws
+// through the device code; everything the throw abandons is device RAM,
+// which the simulated power failure wipes anyway, and the flash medium plus
+// durable log/checkpoint regions keep whatever had been committed.
+
+#ifndef FLASHTIER_CHECK_CRASH_EXPLORER_H_
+#define FLASHTIER_CHECK_CRASH_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ssc/ssc_device.h"
+
+namespace flashtier {
+
+struct CrashExplorerOptions {
+  // Device under test. Small capacity forces frequent GC/merge activity.
+  uint64_t capacity_pages = 512;
+  EvictionPolicy policy = EvictionPolicy::kSeUtil;
+  ConsistencyMode mode = ConsistencyMode::kFull;
+  uint32_t group_commit_ops = 16;             // small batches: many flush points
+  uint64_t checkpoint_interval_writes = 250;  // force checkpoints mid-workload
+
+  // Scripted workload shape.
+  uint32_t ops = 600;
+  uint64_t address_blocks = 1536;  // lbn space; ~3x capacity forces eviction
+  uint64_t seed = 42;
+
+  // Exploration bounds. 0 max_points means every commit point.
+  uint32_t max_points = 0;
+  uint32_t stride = 1;
+
+  // Test hook: make Recover() drop the log tail, which must surface as G1/G2
+  // violations (proves the checker detects a broken recovery path).
+  bool break_recovery = false;
+
+  // Run InvariantChecker::Check on the recovered device after each trial.
+  bool run_invariant_checker = true;
+
+  bool verbose = false;  // print each violation as it is found
+};
+
+struct CrashExplorerReport {
+  uint64_t total_commit_points = 0;  // commit points in the crash-free run
+  uint64_t points_explored = 0;      // trials actually executed
+  uint64_t trials_with_violations = 0;
+  uint64_t violation_count = 0;
+  std::vector<std::string> samples;  // first few violation descriptions
+
+  static constexpr size_t kMaxSamples = 32;
+
+  bool ok() const { return violation_count == 0; }
+  std::string ToString() const;
+};
+
+class CrashExplorer {
+ public:
+  explicit CrashExplorer(const CrashExplorerOptions& options);
+
+  // Runs the full exploration: one crash-free counting pass, then one trial
+  // per (strided) commit point.
+  CrashExplorerReport Explore();
+
+ private:
+  enum class OpKind : uint8_t { kWriteDirty, kWriteClean, kRead, kClean, kEvict, kCollect };
+
+  struct ScriptedOp {
+    OpKind kind;
+    Lbn lbn = 0;
+    uint64_t token = 0;
+  };
+
+  // Shadow model: the last acknowledged state of one lbn.
+  enum class ShadowState : uint8_t {
+    kNone,     // never written (or initial): must read not-present
+    kDirty,    // acked write-dirty: must read exactly `token`, dirty (G1)
+    kClean,    // acked write-clean: `token` or not-present (G2)
+    kCleaned,  // dirty then acked clean: `token` or not-present; may re-dirty
+    kEvicted,  // acked evict: not-present (G3)
+  };
+  struct ShadowEntry {
+    ShadowState state = ShadowState::kNone;
+    uint64_t token = 0;
+  };
+
+  std::vector<ScriptedOp> BuildScript() const;
+  SscConfig DeviceConfig() const;
+
+  // Runs the script with a crash injected at commit point `crash_point`
+  // (counting from 0), recovers, and verifies. Returns violations found.
+  // `crash_point` == UINT64_MAX runs crash-free and reports the number of
+  // commit points through `points_out`.
+  std::vector<std::string> RunTrial(const std::vector<ScriptedOp>& script, uint64_t crash_point,
+                                    uint64_t* points_out);
+
+  CrashExplorerOptions options_;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_CHECK_CRASH_EXPLORER_H_

@@ -1,0 +1,417 @@
+#include "src/check/invariant_checker.h"
+
+#include <bit>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/cache/write_back.h"
+#include "src/ssc/persist.h"
+#include "src/ssc/ssc_device.h"
+
+namespace flashtier {
+
+namespace {
+
+// printf-style formatting into a std::string for violation details.
+std::string Fmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+std::string Fmt(const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return std::string(buffer);
+}
+
+}  // namespace
+
+void CheckReport::Add(std::string invariant, std::string detail) {
+  ++violation_count;
+  if (violations.size() < kMaxRecorded) {
+    violations.push_back({std::move(invariant), std::move(detail)});
+  }
+}
+
+void CheckReport::Merge(CheckReport other) {
+  checks_run += other.checks_run;
+  violation_count += other.violation_count;
+  for (InvariantViolation& v : other.violations) {
+    if (violations.size() >= kMaxRecorded) {
+      break;
+    }
+    violations.push_back(std::move(v));
+  }
+}
+
+std::string CheckReport::ToString() const {
+  std::string out = Fmt("%llu checks, %llu violations", (unsigned long long)checks_run,
+                        (unsigned long long)violation_count);
+  for (const InvariantViolation& v : violations) {
+    out += "\n  [";
+    out += v.invariant;
+    out += "] ";
+    out += v.detail;
+  }
+  if (violation_count > violations.size()) {
+    out += Fmt("\n  ... %llu more not recorded",
+               (unsigned long long)(violation_count - violations.size()));
+  }
+  return out;
+}
+
+CheckReport InvariantChecker::CheckPersistence(const PersistenceManager& pm) {
+  CheckReport report;
+
+  // LSN monotonicity: the durable log must be strictly increasing (records
+  // reach the log in NextLsn order and are never reordered by a flush).
+  uint64_t prev = 0;
+  bool first = true;
+  for (const LogRecord& r : pm.durable_log_) {
+    ++report.checks_run;
+    if (!first && r.lsn <= prev) {
+      report.Add("persist.lsn-monotone",
+                 Fmt("durable record lsn %llu follows %llu", (unsigned long long)r.lsn,
+                     (unsigned long long)prev));
+    }
+    // Checkpoint coverage: the log is truncated at every checkpoint, so any
+    // surviving record must postdate the checkpoint LSN.
+    ++report.checks_run;
+    if (r.lsn <= pm.checkpoint_lsn_) {
+      report.Add("persist.checkpoint-coverage",
+                 Fmt("durable record lsn %llu is covered by checkpoint lsn %llu",
+                     (unsigned long long)r.lsn, (unsigned long long)pm.checkpoint_lsn_));
+    }
+    prev = r.lsn;
+    first = false;
+  }
+
+  // Buffered records continue the durable sequence.
+  for (const LogRecord& r : pm.buffer_) {
+    ++report.checks_run;
+    if (!first && r.lsn <= prev) {
+      report.Add("persist.lsn-monotone",
+                 Fmt("buffered record lsn %llu follows %llu", (unsigned long long)r.lsn,
+                     (unsigned long long)prev));
+    }
+    prev = r.lsn;
+    first = false;
+  }
+
+  ++report.checks_run;
+  if (!first && prev >= pm.next_lsn_) {
+    report.Add("persist.lsn-allocation",
+               Fmt("record lsn %llu >= next_lsn %llu", (unsigned long long)prev,
+                   (unsigned long long)pm.next_lsn_));
+  }
+  ++report.checks_run;
+  if (pm.checkpoint_lsn_ >= pm.next_lsn_) {
+    report.Add("persist.lsn-allocation",
+               Fmt("checkpoint lsn %llu >= next_lsn %llu",
+                   (unsigned long long)pm.checkpoint_lsn_, (unsigned long long)pm.next_lsn_));
+  }
+  return report;
+}
+
+CheckReport InvariantChecker::CheckSscOnly(const SscDevice& ssc) {
+  CheckReport report;
+  const FlashDevice& device = *ssc.device_;
+  const FlashGeometry& g = device.geometry();
+  const uint32_t ppb = g.pages_per_block;
+  const uint64_t total_blocks = g.TotalBlocks();
+
+  // Block classification: every erase block must be in exactly one of
+  // {allocator-free, log, data, dead}. Build the sets up front.
+  enum : uint8_t { kUnknown = 0, kFree, kLog, kData, kDead };
+  static const char* const kClassName[] = {"unclassified", "free", "log", "data", "dead"};
+  std::vector<uint8_t> cls(total_blocks, kUnknown);
+  auto classify = [&](PhysBlock b, uint8_t c) {
+    ++report.checks_run;
+    if (b >= total_blocks) {
+      report.Add("block.range", Fmt("%s block %llu out of range", kClassName[c],
+                                    (unsigned long long)b));
+      return;
+    }
+    if (cls[b] != kUnknown) {
+      report.Add("block.partition", Fmt("block %llu is both %s and %s", (unsigned long long)b,
+                                        kClassName[cls[b]], kClassName[c]));
+      return;
+    }
+    cls[b] = c;
+  };
+  ssc.allocator_->ForEachFree([&](PhysBlock b) { classify(b, kFree); });
+  for (PhysBlock b : ssc.log_blocks_) {
+    classify(b, kLog);
+  }
+  ssc.block_map_.ForEach([&](uint64_t, const SscDevice::BlockEntry& e) { classify(e.phys, kData); });
+  for (PhysBlock b : ssc.dead_blocks_) {
+    classify(b, kDead);
+  }
+  for (PhysBlock b = 0; b < total_blocks; ++b) {
+    ++report.checks_run;
+    if (cls[b] == kUnknown) {
+      report.Add("block.partition", Fmt("block %llu belongs to no category (free/log/data/dead)",
+                                        (unsigned long long)b));
+    }
+    // A free block must be fully erased or the next ProgramPage on it fails.
+    if (cls[b] == kFree) {
+      ++report.checks_run;
+      if (!device.BlockErased(b)) {
+        report.Add("allocator.free-erased",
+                   Fmt("free block %llu has write pointer %u", (unsigned long long)b,
+                       device.write_pointer(b)));
+      }
+    }
+  }
+
+  // Page-level forward map vs medium, OOB reverse map, and log contents.
+  std::unordered_map<PhysBlock, uint64_t> log_refs;  // block -> referenced offsets
+  uint64_t page_dirty = 0;
+  ssc.page_map_.ForEach([&](Lbn lbn, uint64_t packed) {
+    const Ppn ppn = SscDevice::PackedPpn(packed);
+    const bool dirty = SscDevice::PackedDirty(packed);
+    if (dirty) {
+      ++page_dirty;
+    }
+    ++report.checks_run;
+    if (ppn >= g.TotalPages()) {
+      report.Add("page-map.range", Fmt("lbn %llu maps to ppn %llu out of range",
+                                       (unsigned long long)lbn, (unsigned long long)ppn));
+      return;
+    }
+    ++report.checks_run;
+    if (device.page_state(ppn) != PageState::kValid) {
+      report.Add("page-map.medium", Fmt("lbn %llu maps to non-valid ppn %llu",
+                                        (unsigned long long)lbn, (unsigned long long)ppn));
+    }
+    ++report.checks_run;
+    if (device.oob(ppn).lbn != lbn) {
+      report.Add("page-map.oob-lbn",
+                 Fmt("lbn %llu maps to ppn %llu whose OOB says lbn %llu", (unsigned long long)lbn,
+                     (unsigned long long)ppn, (unsigned long long)device.oob(ppn).lbn));
+    }
+    // Clean-ing only ever clears the in-RAM dirty bit, so a map-dirty page
+    // must have been programmed dirty (OOB flag bit 0).
+    ++report.checks_run;
+    if (dirty && (device.oob(ppn).flags & 1u) == 0) {
+      report.Add("page-map.oob-dirty", Fmt("lbn %llu is map-dirty but was programmed clean",
+                                           (unsigned long long)lbn));
+    }
+    const PhysBlock b = g.BlockOf(ppn);
+    ++report.checks_run;
+    if (b < total_blocks && cls[b] != kLog) {
+      report.Add("page-map.log-residence",
+                 Fmt("lbn %llu lives in %s block %llu (page-mapped data must stay in log blocks)",
+                     (unsigned long long)lbn, kClassName[cls[b]], (unsigned long long)b));
+    }
+    const auto it = ssc.log_contents_.find(b);
+    const uint32_t off = g.PageOf(ppn);
+    ++report.checks_run;
+    if (it == ssc.log_contents_.end() || off >= it->second.size() || it->second[off] != lbn) {
+      report.Add("page-map.log-contents",
+                 Fmt("lbn %llu at ppn %llu disagrees with the log-contents reverse map",
+                     (unsigned long long)lbn, (unsigned long long)ppn));
+    }
+    // A page-mapped lbn supersedes any block-level copy: the block entry's
+    // presence bit for this offset must be clear or reads become ambiguous.
+    if (const SscDevice::BlockEntry* e = ssc.block_map_.Find(lbn / ppb); e != nullptr) {
+      ++report.checks_run;
+      if ((e->present_bits >> (lbn % ppb)) & 1u) {
+        report.Add("page-map.block-shadow",
+                   Fmt("lbn %llu is both page-mapped and present at block level",
+                       (unsigned long long)lbn));
+      }
+    }
+    log_refs[b] |= uint64_t{1} << off;
+  });
+
+  // Block-level forward map vs medium, reverse map and bitmaps.
+  uint64_t block_present = 0;
+  uint64_t block_dirty = 0;
+  ssc.block_map_.ForEach([&](uint64_t logical, const SscDevice::BlockEntry& e) {
+    block_present += static_cast<uint64_t>(std::popcount(e.present_bits));
+    block_dirty += static_cast<uint64_t>(std::popcount(e.dirty_bits));
+    ++report.checks_run;
+    if (e.phys >= total_blocks) {
+      report.Add("block-map.range", Fmt("logical block %llu maps to phys %llu out of range",
+                                        (unsigned long long)logical, (unsigned long long)e.phys));
+      return;
+    }
+    ++report.checks_run;
+    if ((e.dirty_bits & ~e.present_bits) != 0) {
+      report.Add("block-map.dirty-subset",
+                 Fmt("logical block %llu has dirty bits %llx outside present bits %llx",
+                     (unsigned long long)logical, (unsigned long long)e.dirty_bits,
+                     (unsigned long long)e.present_bits));
+    }
+    ++report.checks_run;
+    if (ssc.phys_to_logical_[e.phys] != logical) {
+      report.Add("block-map.reverse",
+                 Fmt("phys_to_logical[%llu] = %llu, expected logical %llu",
+                     (unsigned long long)e.phys, (unsigned long long)ssc.phys_to_logical_[e.phys],
+                     (unsigned long long)logical));
+    }
+    // Valid-page accounting: merges install exactly the present pages.
+    ++report.checks_run;
+    if (device.valid_pages(e.phys) != static_cast<uint32_t>(std::popcount(e.present_bits))) {
+      report.Add("block-map.valid-count",
+                 Fmt("data block %llu has %u valid pages on medium, %d present in map",
+                     (unsigned long long)e.phys, device.valid_pages(e.phys),
+                     std::popcount(e.present_bits)));
+    }
+    for (uint32_t off = 0; off < ppb; ++off) {
+      if (((e.present_bits >> off) & 1u) == 0) {
+        continue;
+      }
+      const Ppn ppn = g.FirstPpnOf(e.phys) + off;
+      ++report.checks_run;
+      if (device.page_state(ppn) != PageState::kValid) {
+        report.Add("block-map.medium",
+                   Fmt("logical block %llu offset %u present but ppn %llu not valid",
+                       (unsigned long long)logical, off, (unsigned long long)ppn));
+        continue;
+      }
+      ++report.checks_run;
+      if (device.oob(ppn).lbn != logical * ppb + off) {
+        report.Add("block-map.oob-lbn",
+                   Fmt("logical block %llu offset %u: OOB says lbn %llu",
+                       (unsigned long long)logical, off, (unsigned long long)device.oob(ppn).lbn));
+      }
+    }
+  });
+
+  // Reverse map entries must point back at live block-map entries.
+  for (PhysBlock b = 0; b < total_blocks; ++b) {
+    const Lbn logical = ssc.phys_to_logical_[b];
+    if (logical == kInvalidLbn) {
+      continue;
+    }
+    const SscDevice::BlockEntry* e = ssc.block_map_.Find(logical);
+    ++report.checks_run;
+    if (e == nullptr || e->phys != b) {
+      report.Add("block-map.reverse-stale",
+                 Fmt("phys_to_logical[%llu] = %llu but the block map disagrees",
+                     (unsigned long long)b, (unsigned long long)logical));
+    }
+  }
+
+  // Log blocks: the per-block contents list mirrors the write pointer, and
+  // every valid page in a log block is referenced by the page map (an
+  // unreferenced valid page would resurrect stale data in recovery).
+  for (const auto& [b, lpns] : ssc.log_contents_) {
+    ++report.checks_run;
+    if (b >= total_blocks || cls[b] != kLog) {
+      report.Add("log.contents-stale", Fmt("log_contents has non-log block %llu",
+                                           (unsigned long long)b));
+      continue;
+    }
+    ++report.checks_run;
+    if (lpns.size() != device.write_pointer(b)) {
+      report.Add("log.contents-length",
+                 Fmt("log block %llu: %zu recorded pages, write pointer %u",
+                     (unsigned long long)b, lpns.size(), device.write_pointer(b)));
+    }
+    const uint64_t refs = [&] {
+      const auto it = log_refs.find(b);
+      return it != log_refs.end() ? it->second : uint64_t{0};
+    }();
+    for (uint32_t off = 0; off < device.write_pointer(b); ++off) {
+      const bool valid = device.page_state(g.FirstPpnOf(b) + off) == PageState::kValid;
+      const bool referenced = ((refs >> off) & 1u) != 0;
+      ++report.checks_run;
+      if (valid && !referenced) {
+        report.Add("log.unreferenced-valid",
+                   Fmt("log block %llu offset %u is valid but not page-mapped",
+                       (unsigned long long)b, off));
+      }
+    }
+  }
+  for (PhysBlock b : ssc.log_blocks_) {
+    ++report.checks_run;
+    if (b < total_blocks && ssc.log_contents_.find(b) == ssc.log_contents_.end()) {
+      report.Add("log.contents-missing", Fmt("log block %llu has no contents entry",
+                                             (unsigned long long)b));
+    }
+  }
+
+  // Cached/dirty page counters match the maps.
+  ++report.checks_run;
+  if (ssc.cached_pages_ != ssc.page_map_.size() + block_present) {
+    report.Add("counter.cached-pages",
+               Fmt("cached_pages %llu != %zu page-mapped + %llu block-mapped",
+                   (unsigned long long)ssc.cached_pages_, ssc.page_map_.size(),
+                   (unsigned long long)block_present));
+  }
+  ++report.checks_run;
+  if (ssc.dirty_pages_ != page_dirty + block_dirty) {
+    report.Add("counter.dirty-pages",
+               Fmt("dirty_pages %llu != %llu page-mapped + %llu block-mapped",
+                   (unsigned long long)ssc.dirty_pages_, (unsigned long long)page_dirty,
+                   (unsigned long long)block_dirty));
+  }
+
+  return report;
+}
+
+CheckReport InvariantChecker::Check(const SscDevice& ssc) {
+  CheckReport report = CheckSscOnly(ssc);
+  report.Merge(CheckPersistence(*ssc.persist_));
+  return report;
+}
+
+CheckReport InvariantChecker::Check(const WriteBackManager& manager) {
+  CheckReport report;
+  const SscDevice& ssc = *manager.ssc_;
+  const uint32_t ppb = ssc.device_->geometry().pages_per_block;
+
+  // Every SSC-dirty page must be tracked by the manager, or it will never be
+  // written back (silent data loss once the disk copy goes stale).
+  std::unordered_set<Lbn> ssc_dirty;
+  ssc.page_map_.ForEach([&](Lbn lbn, uint64_t packed) {
+    if (SscDevice::PackedDirty(packed)) {
+      ssc_dirty.insert(lbn);
+    }
+  });
+  ssc.block_map_.ForEach([&](uint64_t logical, const SscDevice::BlockEntry& e) {
+    for (uint32_t off = 0; off < ppb; ++off) {
+      if ((e.dirty_bits >> off) & 1u) {
+        ssc_dirty.insert(logical * ppb + off);
+      }
+    }
+  });
+  for (Lbn lbn : ssc_dirty) {
+    ++report.checks_run;
+    if (!manager.dirty_table_.Contains(lbn)) {
+      report.Add("dirty-table.untracked",
+                 Fmt("lbn %llu is dirty in the SSC but absent from the dirty table",
+                     (unsigned long long)lbn));
+    }
+  }
+
+  // Every tracked block must still be dirty in the SSC; a stale entry makes
+  // the manager clean (and charge disk writes for) data that is not dirty.
+  manager.dirty_table_.ForEach([&](Lbn lbn) {
+    ++report.checks_run;
+    if (ssc_dirty.find(lbn) == ssc_dirty.end()) {
+      report.Add("dirty-table.stale",
+                 Fmt("lbn %llu is in the dirty table but not dirty in the SSC",
+                     (unsigned long long)lbn));
+    }
+  });
+
+  report.Merge(Check(ssc));
+  return report;
+}
+
+CheckReport InvariantChecker::Check(const CacheManager& manager) {
+  if (const auto* wb = dynamic_cast<const WriteBackManager*>(&manager)) {
+    return Check(*wb);
+  }
+  // Write-through and native managers keep no host-side cache metadata that
+  // could disagree with the device.
+  return CheckReport{};
+}
+
+}  // namespace flashtier

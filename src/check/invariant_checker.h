@@ -1,0 +1,84 @@
+// FlashCheck invariant checker: on-demand audits of the cross-structure
+// invariants FlashTier's consistency guarantees rest on.
+//
+// The SSC keeps the same information in several places at once — forward
+// sparse maps, OOB reverse maps, per-block validity counters, the allocator's
+// free lists, and the durable log/checkpoint — and guarantees G1-G3 only hold
+// while those views agree. The checker walks all of them and reports every
+// disagreement as a structured violation instead of asserting, so tests can
+// distinguish "which invariant broke" and tools can print actionable reports.
+//
+// Checked invariant families (see DESIGN.md "Consistency invariants"):
+//   * forward map <-> OOB reverse-map agreement (page- and block-level),
+//   * presence/dirty bitmaps <-> block allocator and medium state,
+//   * every erase block in exactly one of {free, log, data, dead},
+//   * cached/dirty page counters match the maps,
+//   * LSN monotonicity and checkpoint coverage in the PersistenceManager,
+//   * dirty-table <-> SSC dirty-bit agreement for the write-back manager.
+//
+// All checks are read-only and run at quiescent points: between host
+// operations, or from the SSC's audit hook (which fires at the end of any
+// operation that ran a GC pass or wrote a checkpoint).
+
+#ifndef FLASHTIER_CHECK_INVARIANT_CHECKER_H_
+#define FLASHTIER_CHECK_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flashtier {
+
+class CacheManager;
+class PersistenceManager;
+class SscDevice;
+class WriteBackManager;
+
+struct InvariantViolation {
+  std::string invariant;  // stable identifier, e.g. "page-map.oob-lbn"
+  std::string detail;     // human-readable specifics for this instance
+};
+
+struct CheckReport {
+  // Individual assertions evaluated (not structures visited); a healthy
+  // device still reports how much auditing happened.
+  uint64_t checks_run = 0;
+  // Total violations found. Only the first kMaxRecorded carry details in
+  // `violations`, so a badly corrupted structure cannot OOM the report.
+  uint64_t violation_count = 0;
+  std::vector<InvariantViolation> violations;
+
+  static constexpr size_t kMaxRecorded = 64;
+
+  bool ok() const { return violation_count == 0; }
+  void Add(std::string invariant, std::string detail);
+  void Merge(CheckReport other);
+  std::string ToString() const;
+};
+
+class InvariantChecker {
+ public:
+  // Audits the SSC's internal structures against each other and against the
+  // flash medium, including its persistence manager.
+  static CheckReport Check(const SscDevice& ssc);
+
+  // Audits the write-back manager's dirty table against the SSC's dirty
+  // bits (both directions), then audits the SSC itself.
+  static CheckReport Check(const WriteBackManager& manager);
+
+  // Generic entry point for any cache manager: dispatches to the write-back
+  // audit when the manager keeps host-side dirty state; other managers have
+  // no host structures to cross-check and report zero checks.
+  static CheckReport Check(const CacheManager& manager);
+
+  // Audits only the durability machinery: LSN monotonicity of the durable
+  // log and the buffer, and checkpoint coverage.
+  static CheckReport CheckPersistence(const PersistenceManager& pm);
+
+ private:
+  static CheckReport CheckSscOnly(const SscDevice& ssc);
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_CHECK_INVARIANT_CHECKER_H_

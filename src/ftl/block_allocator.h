@@ -18,6 +18,8 @@
 
 namespace flashtier {
 
+class InvariantChecker;
+
 class BlockAllocator {
  public:
   // All blocks of the device start free except those in [0, reserved), which
@@ -48,7 +50,19 @@ class BlockAllocator {
 
   size_t MemoryUsage() const;
 
+  // Calls fn(block) for every free block (unspecified order).
+  template <typename Fn>
+  void ForEachFree(Fn&& fn) const {
+    for (const std::vector<PhysBlock>& plane : free_) {
+      for (PhysBlock b : plane) {
+        fn(b);
+      }
+    }
+  }
+
  private:
+  friend class InvariantChecker;
+
   PhysBlock PopLowestWear(uint32_t plane);
 
   const FlashDevice& device_;

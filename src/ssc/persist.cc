@@ -21,12 +21,15 @@ void PersistenceManager::Append(const LogRecord& record, bool sync) {
   if (options_.mode == ConsistencyMode::kNone) {
     return;
   }
+  // A crash here loses the record entirely: the caller has not been
+  // acknowledged yet, so no consistency guarantee attaches to it.
+  AtCommitPoint(CommitPoint::kAppend);
   buffer_.push_back(record);
   ++stats_.records_logged;
   if (sync) {
     ++stats_.sync_commits;
     Flush();
-  } else if (buffer_.size() >= options_.group_commit_ops) {
+  } else if (atomic_batch_depth_ == 0 && buffer_.size() >= options_.group_commit_ops) {
     ++stats_.group_commits;
     Flush();
   }
@@ -36,6 +39,9 @@ void PersistenceManager::Flush() {
   if (buffer_.empty()) {
     return;
   }
+  // A crash here loses the whole buffered batch; one an instant later (after
+  // the atomic write) keeps all of it. There is no in-between (primitive [33]).
+  AtCommitPoint(CommitPoint::kFlushStart);
   // The whole batch becomes durable atomically (atomic-write primitive [33]).
   // Small synchronous batches use a sub-page atomic write; large group
   // commits stream whole pages.
@@ -48,9 +54,11 @@ void PersistenceManager::Flush() {
   }
   durable_log_.insert(durable_log_.end(), buffer_.begin(), buffer_.end());
   buffer_.clear();
+  AtCommitPoint(CommitPoint::kFlushDone);
 }
 
 void PersistenceManager::WriteCheckpoint(std::vector<CheckpointEntry> entries) {
+  AtCommitPoint(CommitPoint::kCheckpointStart);
   // Entries reflect device RAM, which is ahead of (or equal to) everything in
   // the buffer, so buffered records are subsumed by the checkpoint.
   checkpoint_lsn_ = next_lsn_ - 1;
@@ -62,6 +70,7 @@ void PersistenceManager::WriteCheckpoint(std::vector<CheckpointEntry> entries) {
   writes_since_checkpoint_ = 0;
   ++stats_.checkpoints;
   stats_.checkpoint_page_writes += PagesFor(checkpoint_entry_count_ * kCheckpointEntryBytes);
+  AtCommitPoint(CommitPoint::kCheckpointDone);
 }
 
 void PersistenceManager::Crash() {
@@ -76,9 +85,11 @@ void PersistenceManager::Recover(std::vector<CheckpointEntry>* checkpoint,
   ChargeReads(PagesFor(durable_log_.size() * kRecordBytes), &recovery_us);
   *checkpoint = durable_checkpoint_;
   log_tail->clear();
-  for (const LogRecord& r : durable_log_) {
-    if (r.lsn > checkpoint_lsn_) {
-      log_tail->push_back(r);
+  if (!skip_log_tail_replay_) {
+    for (const LogRecord& r : durable_log_) {
+      if (r.lsn > checkpoint_lsn_) {
+        log_tail->push_back(r);
+      }
     }
   }
   stats_.last_recovery_us = recovery_us;

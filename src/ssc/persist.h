@@ -24,12 +24,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/flash/timing.h"
 #include "src/flash/types.h"
 
 namespace flashtier {
+
+class InvariantChecker;
 
 enum class ConsistencyMode : uint8_t {
   kNone,          // no-consistency baseline of Figure 4
@@ -64,6 +68,37 @@ struct CheckpointEntry {
   uint64_t present_bits = 0;
   uint64_t dirty_bits = 0;
 };
+
+// Durability commit points, in the order FlashCheck's crash explorer visits
+// them. A crash injected at k*Start points loses the in-RAM state the step
+// was about to persist; a crash at k*Done points happens with it durable.
+enum class CommitPoint : uint8_t {
+  kAppend,           // a record is about to enter the device-RAM log buffer
+  kFlushStart,       // buffered records are about to become durable
+  kFlushDone,        // the flushed batch is durable
+  kCheckpointStart,  // a checkpoint is about to be written
+  kCheckpointDone,   // the checkpoint is durable and the log truncated
+  kEraseBarrier,     // an erase block was just reclaimed (silent-eviction
+                     // boundary; fired by the SSC, not the manager)
+};
+
+constexpr const char* CommitPointName(CommitPoint p) {
+  switch (p) {
+    case CommitPoint::kAppend:
+      return "append";
+    case CommitPoint::kFlushStart:
+      return "flush-start";
+    case CommitPoint::kFlushDone:
+      return "flush-done";
+    case CommitPoint::kCheckpointStart:
+      return "checkpoint-start";
+    case CommitPoint::kCheckpointDone:
+      return "checkpoint-done";
+    case CommitPoint::kEraseBarrier:
+      return "erase-barrier";
+  }
+  return "unknown";
+}
 
 struct PersistStats {
   uint64_t records_logged = 0;
@@ -101,6 +136,35 @@ class PersistenceManager {
 
   // Flushes all buffered records to the durable log region.
   void Flush();
+
+  // While a batch is open, asynchronous appends never trigger the group-
+  // commit flush. Multi-record mapping transitions — a merge's page-map
+  // removes plus the block-map insert that supersedes them, an overwrite's
+  // remove plus insert — must reach the durable log in one atomic flush or
+  // not at all; a group commit firing between the records would make the
+  // removes durable alone, and a crash in that window would lose
+  // acknowledged data (FlashCheck finds this immediately). Synchronous
+  // commits and explicit Flush() calls (the pre-erase barrier) are
+  // unaffected. Nestable; a deferred group commit fires on the next
+  // asynchronous append after the outermost batch closes.
+  void BeginAtomicBatch() noexcept { ++atomic_batch_depth_; }
+  void EndAtomicBatch() noexcept { --atomic_batch_depth_; }
+
+  // RAII helper for BeginAtomicBatch/EndAtomicBatch. The destructor only
+  // closes the scope and never flushes, so it is safe to unwind through
+  // when a FlashCheck crash hook throws mid-batch.
+  class AtomicBatchScope {
+   public:
+    explicit AtomicBatchScope(PersistenceManager* pm) noexcept : pm_(pm) {
+      pm_->BeginAtomicBatch();
+    }
+    ~AtomicBatchScope() { pm_->EndAtomicBatch(); }
+    AtomicBatchScope(const AtomicBatchScope&) = delete;
+    AtomicBatchScope& operator=(const AtomicBatchScope&) = delete;
+
+   private:
+    PersistenceManager* pm_;
+  };
 
   // Called by the SSC after mutating writes; triggers a checkpoint when the
   // log-size or write-count policy says so. `entries` is only materialized
@@ -140,7 +204,41 @@ class PersistenceManager {
 
   size_t MemoryUsage() const { return buffer_.capacity() * sizeof(LogRecord); }
 
+  // ---- FlashCheck instrumentation (test-only) ----
+
+  // Invoked at every durability commit point. The crash explorer installs a
+  // hook that throws to simulate power failure at that exact instant; the
+  // hook must therefore be exception-transparent to this class (all state a
+  // throw abandons is device RAM, which the crash wipes anyway).
+  using CommitPointHook = std::function<void(CommitPoint)>;
+  void set_commit_point_hook_for_testing(CommitPointHook hook) {
+    commit_point_hook_ = std::move(hook);
+  }
+
+  // Fired by the SSC after it erases a reclaimed block (the silent-eviction
+  // boundary), so the crash explorer sees erase barriers in program order
+  // with the log commit points.
+  void NotifyEraseBarrier() {
+    if (commit_point_hook_) {
+      commit_point_hook_(CommitPoint::kEraseBarrier);
+    }
+  }
+
+  // Deliberately-broken recovery: Recover() returns an empty log tail, as if
+  // replay were skipped. Exists so tests can prove the crash explorer
+  // actually detects G1/G2 violations rather than vacuously passing.
+  void set_skip_log_tail_replay_for_testing(bool skip) { skip_log_tail_replay_ = skip; }
+
  private:
+  friend class InvariantChecker;
+  friend class CheckTestPeer;  // injects corruption in invariant-checker tests
+
+  void AtCommitPoint(CommitPoint p) {
+    if (commit_point_hook_) {
+      commit_point_hook_(p);
+    }
+  }
+
   // On-flash record sizes (packed): lsn + key + ppn + present + dirty + type.
   static constexpr uint64_t kRecordBytes = 8 + 8 + 8 + 8 + 8 + 1;
   static constexpr uint64_t kCheckpointEntryBytes = 8 + 8 + 8 + 8 + 1;
@@ -164,7 +262,10 @@ class PersistenceManager {
   uint64_t checkpoint_entry_count_ = 0;
   uint64_t writes_since_checkpoint_ = 0;
   uint64_t next_lsn_ = 1;
+  uint32_t atomic_batch_depth_ = 0;
   PersistStats stats_;
+  CommitPointHook commit_point_hook_;
+  bool skip_log_tail_replay_ = false;
 };
 
 }  // namespace flashtier

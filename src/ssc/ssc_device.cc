@@ -83,6 +83,10 @@ Status SscDevice::WriteInternal(Lbn lbn, uint64_t token, bool dirty) {
     return s;
   }
 
+  // An overwrite's remove and insert records must commit together: if a
+  // group commit made the remove durable alone, a crash before the insert's
+  // flush would recover with neither version of acknowledged data.
+  PersistenceManager::AtomicBatchScope batch(persist_.get());
   const bool had_old = InvalidateOldVersion(lbn);
 
   const PhysBlock active = log_blocks_.back();
@@ -113,7 +117,21 @@ Status SscDevice::WriteInternal(Lbn lbn, uint64_t token, bool dirty) {
   const bool sync = dirty || had_old || config_.mode == ConsistencyMode::kFull;
   persist_->Append(rec, sync);
   persist_->MaybeCheckpoint([this] { return SnapshotForCheckpoint(); });
+  MaybeAudit();
   return Status::kOk;
+}
+
+void SscDevice::MaybeAudit() {
+  if (!audit_hook_) {
+    return;
+  }
+  if (ftl_stats_.gc_invocations == last_audited_gc_ &&
+      persist_->stats().checkpoints == last_audited_checkpoints_) {
+    return;
+  }
+  last_audited_gc_ = ftl_stats_.gc_invocations;
+  last_audited_checkpoints_ = persist_->stats().checkpoints;
+  audit_hook_(*this);
 }
 
 bool SscDevice::InvalidateOldVersion(Lbn lbn) {
@@ -172,6 +190,7 @@ Status SscDevice::Evict(Lbn lbn) {
     // Eviction is durable before the request completes (G3).
     persist_->Flush();
   }
+  MaybeAudit();
   return Status::kOk;
 }
 
@@ -267,6 +286,7 @@ uint32_t SscDevice::BackgroundCollect(uint64_t budget_us) {
     }
     reclaimed += static_cast<uint32_t>(allocator_->FreeCount() - free_before);
   }
+  MaybeAudit();
   return reclaimed;
 }
 
@@ -343,6 +363,7 @@ bool SscDevice::ReclaimDeadBlock() {
   dead_blocks_.pop_front();
   device_->EraseBlock(b);
   allocator_->Free(b);
+  persist_->NotifyEraseBarrier();
   return true;
 }
 
@@ -469,6 +490,7 @@ void SscDevice::SilentlyEvict(PhysBlock phys, uint64_t logical) {
   persist_->Flush();
   device_->EraseBlock(phys);
   allocator_->Free(phys);
+  persist_->NotifyEraseBarrier();
 }
 
 // ---------------------------------------------------------------------------
@@ -501,6 +523,7 @@ void SscDevice::InstallDataBlock(uint64_t logical, PhysBlock phys, uint64_t pres
   // the log as one atomic batch (Section 4.2.2: transient states exposing
   // stale or missing data are not possible) — so append both *before* any
   // flush, and only erase the old block once the batch is durable.
+  PersistenceManager::AtomicBatchScope batch(persist_.get());
   BlockEntry* old = block_map_.Find(logical);
   PhysBlock old_phys = kInvalidBlock;
   if (old != nullptr) {
@@ -525,6 +548,7 @@ void SscDevice::InstallDataBlock(uint64_t logical, PhysBlock phys, uint64_t pres
     persist_->Flush();
     device_->EraseBlock(old_phys);
     allocator_->Free(old_phys);
+    persist_->NotifyEraseBarrier();
   }
 }
 
@@ -539,6 +563,9 @@ bool SscDevice::TrySwitchOrPartialMerge(PhysBlock victim) {
   if (lpns[0] % ppb != 0) {
     return false;
   }
+  // The merge's page-map removes and its block-map insert commit together
+  // (see InstallDataBlock); an intermediate group commit would tear them.
+  PersistenceManager::AtomicBatchScope merge_batch(persist_.get());
   const uint64_t logical = lpns[0] / ppb;
   const Ppn base = g.FirstPpnOf(victim);
   for (size_t i = 0; i < lpns.size(); ++i) {
@@ -605,6 +632,9 @@ bool SscDevice::TrySwitchOrPartialMerge(PhysBlock victim) {
 Status SscDevice::MergeLogicalBlock(uint64_t logical) {
   const FlashGeometry& g = device_->geometry();
   const uint32_t ppb = g.pages_per_block;
+  // As in TrySwitchOrPartialMerge: the RetireLogPage removes below and the
+  // final block-map insert must not be torn across a group-commit flush.
+  PersistenceManager::AtomicBatchScope merge_batch(persist_.get());
   PhysBlock fresh = allocator_->Allocate();
   while (fresh == kInvalidBlock) {
     // Make room without copying if we can: erase dead blocks, then silently
@@ -700,6 +730,7 @@ Status SscDevice::ForwardCopyLogBlock(PhysBlock victim) {
   persist_->Flush();
   device_->EraseBlock(victim);
   allocator_->Free(victim);
+  persist_->NotifyEraseBarrier();
   return Status::kOk;
 }
 
@@ -766,6 +797,7 @@ Status SscDevice::MergeOldestLogBlock() {
   persist_->Flush();
   device_->EraseBlock(victim);
   allocator_->Free(victim);
+  persist_->NotifyEraseBarrier();
   return Status::kOk;
 }
 

@@ -38,8 +38,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/flash/flash_device.h"
@@ -51,6 +53,8 @@
 #include "src/util/status.h"
 
 namespace flashtier {
+
+class InvariantChecker;
 
 enum class EvictionPolicy : uint8_t {
   kSeUtil,   // "SSC": fixed log reserve, evict min-utilization clean blocks
@@ -179,7 +183,24 @@ class SscDevice {
   uint64_t data_block_entries() const { return block_map_.size(); }
   uint64_t page_map_entries() const { return page_map_.size(); }
 
+  // ---- FlashCheck instrumentation ----
+
+  // Debug audit hook: when set, invoked with the device at a quiescent state
+  // at the end of any host operation during which a garbage-collection pass
+  // ran or a checkpoint was written. Tests install a hook that runs
+  // InvariantChecker::Check and asserts an empty report, so every GC/merge/
+  // checkpoint interleaving a workload produces is audited in place.
+  using AuditHook = std::function<void(const SscDevice&)>;
+  void set_audit_hook(AuditHook hook) { audit_hook_ = std::move(hook); }
+
+  // The crash explorer installs its commit-point hook directly on the
+  // persistence manager and flips its broken-recovery flag through this.
+  PersistenceManager* persist_for_testing() { return persist_.get(); }
+
  private:
+  friend class InvariantChecker;
+  friend class CheckTestPeer;  // injects corruption in invariant-checker tests
+
   struct BlockEntry {
     PhysBlock phys = kInvalidBlock;
     uint64_t present_bits = 0;
@@ -231,6 +252,9 @@ class SscDevice {
   void ChargeExistsScan();
   std::vector<CheckpointEntry> SnapshotForCheckpoint() const;
   void LogInsertBlockEntry(uint64_t logical, const BlockEntry& e);
+  // Runs the audit hook if a GC pass or checkpoint happened since the last
+  // audit. Call only from quiescent points (end of a host operation).
+  void MaybeAudit();
 
   SscConfig config_;
   SimClock* clock_;
@@ -255,6 +279,10 @@ class SscDevice {
   uint64_t cached_pages_ = 0;
   uint64_t dirty_pages_ = 0;
   FtlStats ftl_stats_;
+
+  AuditHook audit_hook_;
+  uint64_t last_audited_gc_ = 0;
+  uint64_t last_audited_checkpoints_ = 0;
 };
 
 }  // namespace flashtier

@@ -66,8 +66,8 @@ INSTANTIATE_TEST_SUITE_P(Systems, AllSystemsTest,
                                            SystemType::kSscWriteBack,
                                            SystemType::kSscRWriteThrough,
                                            SystemType::kSscRWriteBack),
-                         [](const ::testing::TestParamInfo<SystemType>& info) {
-                           std::string name = SystemTypeName(info.param);
+                         [](const ::testing::TestParamInfo<SystemType>& param_info) {
+                           std::string name = SystemTypeName(param_info.param);
                            for (char& c : name) {
                              if (c == '-') {
                                c = '_';

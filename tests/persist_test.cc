@@ -190,6 +190,102 @@ TEST(PersistTest, RecoveryChargesMediaReads) {
   EXPECT_GT(pm2.stats().last_recovery_us, pm.stats().last_recovery_us);
 }
 
+TEST(PersistTest, RelaxedCleanCrashWithPartialGroupCommitBufferLosesOnlyBuffer) {
+  // FlashTier-D buffers write-clean inserts: a crash with a partially filled
+  // group-commit buffer must lose exactly those records and nothing durable.
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(ConsistencyMode::kRelaxedClean), FlashTimings{}, &clock);
+  pm.Append(MakeRecord(pm.NextLsn(), 1), /*sync=*/true);  // an overwrite: sync
+  for (int i = 0; i < 7; ++i) {  // seven buffered clean inserts (< 10)
+    pm.Append(MakeRecord(pm.NextLsn(), 100 + i), /*sync=*/false);
+  }
+  ASSERT_EQ(pm.buffered_records(), 7u);
+  pm.Crash();
+  EXPECT_EQ(pm.stats().records_lost_in_crash, 7u);
+  std::vector<CheckpointEntry> ckpt;
+  std::vector<LogRecord> tail;
+  pm.Recover(&ckpt, &tail);
+  EXPECT_TRUE(ckpt.empty());
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].key, 1u);
+}
+
+TEST(PersistTest, CheckpointRatioBoundaryIsStrict) {
+  // With a 0.5 ratio and an 82-entry checkpoint (82 * 33 B = 2706 B), a log
+  // of 33 records (33 * 41 B = 1353 B) sits *exactly* at ratio * ckpt bytes.
+  // The policy uses a strict comparison, so the boundary itself must not
+  // trigger; the 34th record must.
+  SimClock clock;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.checkpoint_log_ratio = 0.5;
+  PersistenceManager pm(opts, FlashTimings{}, &clock);
+  pm.WriteCheckpoint(std::vector<CheckpointEntry>(82));
+  int snapshots_taken = 0;
+  const auto snapshot = [&snapshots_taken] {
+    ++snapshots_taken;
+    return std::vector<CheckpointEntry>(82);
+  };
+  for (int i = 0; i < 33; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/true);
+    pm.MaybeCheckpoint(snapshot);
+  }
+  EXPECT_EQ(snapshots_taken, 0);  // exactly at the boundary: no checkpoint
+  pm.Append(MakeRecord(pm.NextLsn(), 33), /*sync=*/true);
+  pm.MaybeCheckpoint(snapshot);
+  EXPECT_EQ(snapshots_taken, 1);  // one byte past: checkpoint
+}
+
+TEST(PersistTest, RecoveryWithEmptyCheckpointRegionReplaysWholeLog) {
+  // Before the first checkpoint exists, recovery must work from the log
+  // alone: empty checkpoint, every durable record replayed.
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  for (int i = 0; i < 5; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/true);
+  }
+  pm.Crash();
+  std::vector<CheckpointEntry> ckpt;
+  std::vector<LogRecord> tail;
+  pm.Recover(&ckpt, &tail);
+  EXPECT_TRUE(ckpt.empty());
+  EXPECT_EQ(pm.stats().recovered_checkpoint_entries, 0u);
+  ASSERT_EQ(tail.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(tail[i].key, static_cast<Lbn>(i));
+  }
+}
+
+TEST(PersistTest, AtomicBatchDefersGroupCommit) {
+  // Inside a batch, crossing the group-commit threshold must not flush (a
+  // flush there could tear a merge's remove/insert pair); the deferred
+  // commit fires on the first asynchronous append after the batch closes.
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  {
+    PersistenceManager::AtomicBatchScope batch(&pm);
+    for (int i = 0; i < 15; ++i) {  // past the threshold of 10
+      pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/false);
+    }
+    EXPECT_EQ(pm.buffered_records(), 15u);
+    EXPECT_EQ(pm.durable_log_records(), 0u);
+  }
+  pm.Append(MakeRecord(pm.NextLsn(), 99), /*sync=*/false);
+  EXPECT_EQ(pm.buffered_records(), 0u);
+  EXPECT_EQ(pm.durable_log_records(), 16u);
+}
+
+TEST(PersistTest, ExplicitFlushInsideAtomicBatchStillFlushes) {
+  // The pre-erase barrier must stay effective mid-batch: reclaimed flash may
+  // never be referenced by a recovered mapping.
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  PersistenceManager::AtomicBatchScope batch(&pm);
+  pm.Append(MakeRecord(pm.NextLsn(), 1), /*sync=*/false);
+  pm.Flush();
+  EXPECT_EQ(pm.durable_log_records(), 1u);
+  EXPECT_EQ(pm.buffered_records(), 0u);
+}
+
 TEST(PersistTest, LsnsAreMonotone) {
   SimClock clock;
   PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);

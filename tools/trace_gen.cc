@@ -1,7 +1,7 @@
 // trace_gen — write a synthetic workload to a binary trace file.
 //
 //   trace_gen --workload=homes --scale=0.1 --out=/tmp/homes.fttr
-//   trace_gen --range-gb=100 --unique=500000 --ops=2000000 --writes=0.8 \
+//   trace_gen --range-gb=100 --unique=500000 --ops=2000000 --writes=0.8
 //             --out=/tmp/custom.fttr
 //
 // Files are replayable with trace_stat, the TraceFileReader API, or any
