@@ -5,6 +5,8 @@
 //   --scale=<f>   multiply the default per-workload scale (default 1.0)
 //   --workload=<name>  run only one of homes/mail/usr/proj
 //   --verify      enable the stale-read oracle during replay (slower)
+//   --stats-json=FILE  append one JSON object per (workload, system) run with
+//                      the manager / FTL / persistence / fault counters
 
 #ifndef FLASHTIER_BENCH_BENCH_COMMON_H_
 #define FLASHTIER_BENCH_BENCH_COMMON_H_
@@ -109,6 +111,80 @@ inline RunResult ReplayWorkload(const WorkloadProfile& profile, const SystemConf
                 (unsigned long long)result.metrics.stale_reads, SystemTypeName(config.type).c_str());
   }
   return result;
+}
+
+// Appends one JSON object (a line of JSON-lines) with this run's counters to
+// `path`: replay metrics, manager stats (including the §5d fault-handling
+// counters), and — when the system has an SSC — FTL, persistence, and raw
+// medium fault counters. Machine-readable companion to the printf tables.
+inline void AppendStatsJson(const std::string& path, const char* bench,
+                            const WorkloadProfile& profile, const SystemConfig& config,
+                            FlashTierSystem* system, const RunResult& result) {
+  if (path.empty()) {
+    return;
+  }
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for stats dump\n", path.c_str());
+    return;
+  }
+  const ManagerStats& m = system->manager().stats();
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"workload\":\"%s\",\"system\":\"%s\","
+               "\"iops\":%.1f,\"mean_response_us\":%.2f,"
+               "\"requests\":%llu,\"stale_reads\":%llu,\"failed_requests\":%llu,"
+               "\"read_errors\":%llu,"
+               "\"manager\":{\"read_hits\":%llu,\"read_misses\":%llu,\"writebacks\":%llu,"
+               "\"evicts\":%llu,\"read_errors\":%llu,\"lost_dirty\":%llu,"
+               "\"degraded_entries\":%llu,\"pass_through_writes\":%llu}",
+               bench, profile.name.c_str(), SystemTypeName(config.type).c_str(), result.iops,
+               result.mean_response_us, (unsigned long long)result.metrics.requests,
+               (unsigned long long)result.metrics.stale_reads,
+               (unsigned long long)result.metrics.failed_requests,
+               (unsigned long long)result.metrics.read_errors,
+               (unsigned long long)m.read_hits, (unsigned long long)m.read_misses,
+               (unsigned long long)m.writebacks, (unsigned long long)m.evicts,
+               (unsigned long long)m.read_errors, (unsigned long long)m.lost_dirty,
+               (unsigned long long)m.degraded_entries,
+               (unsigned long long)m.pass_through_writes);
+  const FtlStats* ftl = nullptr;
+  const FaultStats* faults = nullptr;
+  if (system->ssc() != nullptr) {
+    ftl = &system->ssc()->ftl_stats();
+    faults = &system->ssc()->device().fault_stats();
+    const PersistStats& p = system->ssc()->persist_stats();
+    std::fprintf(f,
+                 ",\"persist\":{\"records_logged\":%llu,\"checkpoints\":%llu,"
+                 "\"corrupt_records_skipped\":%llu,\"checkpoint_fallbacks\":%llu}",
+                 (unsigned long long)p.records_logged, (unsigned long long)p.checkpoints,
+                 (unsigned long long)p.corrupt_records_skipped,
+                 (unsigned long long)p.checkpoint_fallbacks);
+  } else if (system->ssd() != nullptr) {
+    ftl = &system->ssd()->ftl_stats();
+    faults = &system->ssd()->device().fault_stats();
+  }
+  if (ftl != nullptr) {
+    std::fprintf(f,
+                 ",\"ftl\":{\"gc_invocations\":%llu,\"program_retries\":%llu,"
+                 "\"retired_blocks\":%llu,\"dropped_clean_pages\":%llu,"
+                 "\"lost_dirty_pages\":%llu}",
+                 (unsigned long long)ftl->gc_invocations,
+                 (unsigned long long)ftl->program_retries,
+                 (unsigned long long)ftl->retired_blocks,
+                 (unsigned long long)ftl->dropped_clean_pages,
+                 (unsigned long long)ftl->lost_dirty_pages);
+  }
+  if (faults != nullptr) {
+    std::fprintf(f,
+                 ",\"faults\":{\"program_failures\":%llu,\"erase_failures\":%llu,"
+                 "\"read_corruptions\":%llu,\"crc_mismatches\":%llu}",
+                 (unsigned long long)faults->program_failures,
+                 (unsigned long long)faults->erase_failures,
+                 (unsigned long long)faults->read_corruptions,
+                 (unsigned long long)faults->crc_mismatches);
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
 }
 
 }  // namespace flashtier::bench

@@ -44,6 +44,7 @@ int Main(int argc, char** argv) {
       FlashTierSystem system(config);
       const RunResult r =
           ReplayWorkload(profile, config, &system, 0.15, args.GetBool("verify", false));
+      AppendStatsJson(args.GetString("stats-json", ""), "fig3", profile, config, &system, r);
       if (type == SystemType::kNativeWriteBack) {
         native_iops = r.iops;
         std::printf(" %12.0f", native_iops);

@@ -25,8 +25,8 @@ struct Cell {
   double response_us = 0;
 };
 
-Cell Run(const WorkloadProfile& profile, SystemType type, ConsistencyMode mode,
-         bool native_metadata) {
+Cell Run(const ArgParser& args, const WorkloadProfile& profile, SystemType type,
+         ConsistencyMode mode, bool native_metadata) {
   SystemConfig config;
   config.type = type;
   config.cache_pages = CachePagesFor(profile);
@@ -34,6 +34,7 @@ Cell Run(const WorkloadProfile& profile, SystemType type, ConsistencyMode mode,
   config.native_persist_metadata = native_metadata;
   FlashTierSystem system(config);
   const RunResult r = ReplayWorkload(profile, config, &system);
+  AppendStatsJson(args.GetString("stats-json", ""), "fig4", profile, config, &system, r);
   return {r.iops, r.mean_response_us};
 }
 
@@ -48,13 +49,15 @@ int Main(int argc, char** argv) {
               "FlashTier-C/D", "(base IOPS)", "added response time (us)");
   for (const WorkloadProfile& profile : BenchProfiles(args)) {
     const Cell native_base =
-        Run(profile, SystemType::kNativeWriteBack, ConsistencyMode::kNone, false);
+        Run(args, profile, SystemType::kNativeWriteBack, ConsistencyMode::kNone, false);
     const Cell native_d =
-        Run(profile, SystemType::kNativeWriteBack, ConsistencyMode::kNone, true);
-    const Cell ft_base = Run(profile, SystemType::kSscWriteBack, ConsistencyMode::kNone, false);
+        Run(args, profile, SystemType::kNativeWriteBack, ConsistencyMode::kNone, true);
+    const Cell ft_base =
+        Run(args, profile, SystemType::kSscWriteBack, ConsistencyMode::kNone, false);
     const Cell ft_d =
-        Run(profile, SystemType::kSscWriteBack, ConsistencyMode::kRelaxedClean, false);
-    const Cell ft_cd = Run(profile, SystemType::kSscWriteBack, ConsistencyMode::kFull, false);
+        Run(args, profile, SystemType::kSscWriteBack, ConsistencyMode::kRelaxedClean, false);
+    const Cell ft_cd =
+        Run(args, profile, SystemType::kSscWriteBack, ConsistencyMode::kFull, false);
 
     std::printf("%-8s %9.1f%% %9.1f%% %11.1f%% %6.0f/%6.0f | N-D %+6.1f  FT-D %+6.1f  "
                 "FT-C/D %+6.1f\n",

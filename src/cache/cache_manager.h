@@ -27,6 +27,12 @@ struct ManagerStats {
   uint64_t evicts = 0;           // evictions (explicit or LRU replacement)
   uint64_t metadata_writes = 0;  // native manager metadata persistence writes
 
+  // Fault handling (FaultPlan injection; see DESIGN.md §5d).
+  uint64_t read_errors = 0;         // cache reads that failed with a medium error
+  uint64_t lost_dirty = 0;          // dirty blocks lost to uncorrectable errors
+  uint64_t degraded_entries = 0;    // times the manager tripped into pass-through
+  uint64_t pass_through_writes = 0; // writes served by disk because the cache failed
+
   double HitRate() const {
     const uint64_t lookups = read_hits + read_misses;
     return lookups == 0 ? 0.0 : static_cast<double>(read_hits) / static_cast<double>(lookups);

@@ -83,6 +83,17 @@ Status NativeCacheManager::WriteBackSlot(uint32_t set, uint16_t way) {
   assert(s.state == SlotState::kDirty);
   uint64_t token = 0;
   if (Status rs = ssd_->Read(SsdPageOf(set, way), &token); !IsOk(rs)) {
+    if (rs == Status::kCorrupt) {
+      // The only copy of this dirty block is unreadable: nothing correct can
+      // reach the disk, so record the loss and let the slot be reclaimed.
+      ++stats_.read_errors;
+      ++stats_.lost_dirty;
+      s.state = SlotState::kClean;
+      --set_dirty_[set];
+      --dirty_total_;
+      MetadataUpdate();
+      return Status::kOk;
+    }
     return rs;
   }
   if (Status ds = disk_->Write(s.lbn, token); !IsOk(ds)) {
@@ -144,6 +155,23 @@ Status NativeCacheManager::InsertBlock(Lbn lbn, uint64_t token, bool dirty) {
   Slot& s = SlotAt(set, way);
   s.checksum = token;
   if (Status ws = ssd_->Write(SsdPageOf(set, way), token); !IsOk(ws)) {
+    if (ws == Status::kIoError) {
+      // The SSD could not land the data even after the FTL's retries.
+      // Uncache the block entirely — an out-of-place FTL write that failed
+      // leaves the *old* version mapped, which is now stale — and fall back
+      // to the disk for dirty data.
+      if (s.state == SlotState::kDirty) {
+        --set_dirty_[set];
+        --dirty_total_;
+        MetadataUpdate();
+      }
+      ssd_->Trim(SsdPageOf(set, way));
+      LruUnlink(set, way);
+      s = Slot{};
+      --occupied_;
+      ++stats_.pass_through_writes;
+      return dirty ? disk_->Write(lbn, token) : Status::kOk;
+    }
     return ws;
   }
   if (dirty && s.state != SlotState::kDirty) {
@@ -190,17 +218,34 @@ Status NativeCacheManager::CleanSet(uint32_t set) {
     }
     std::vector<uint64_t> tokens;
     tokens.reserve(j - i);
+    size_t lost = j;  // index of a run-truncating unreadable page, if any
     for (size_t k = i; k < j; ++k) {
       uint64_t token = 0;
       if (Status s = ssd_->Read(SsdPageOf(set, dirty[k].second), &token); !IsOk(s)) {
+        if (s == Status::kCorrupt) {
+          // Unreadable dirty page: record the loss, drop it from the run,
+          // and write back only the pages collected before it.
+          Slot& slot = slots_[base + dirty[k].second];
+          slot.state = SlotState::kClean;
+          --set_dirty_[set];
+          --dirty_total_;
+          ++stats_.read_errors;
+          ++stats_.lost_dirty;
+          MetadataUpdate();
+          lost = k;
+          break;
+        }
         return s;
       }
       tokens.push_back(token);
     }
-    if (Status s = disk_->WriteRun(dirty[i].first, tokens); !IsOk(s)) {
-      return s;
+    const size_t run_end = std::min(lost, j);
+    if (!tokens.empty()) {
+      if (Status s = disk_->WriteRun(dirty[i].first, tokens); !IsOk(s)) {
+        return s;
+      }
     }
-    for (size_t k = i; k < j; ++k) {
+    for (size_t k = i; k < run_end; ++k) {
       Slot& slot = slots_[base + dirty[k].second];
       slot.state = SlotState::kClean;
       --set_dirty_[set];
@@ -208,7 +253,7 @@ Status NativeCacheManager::CleanSet(uint32_t set) {
       ++stats_.writebacks;
       MetadataUpdate();
     }
-    i = j;
+    i = (lost < j) ? lost + 1 : j;
   }
   return Status::kOk;
 }
@@ -218,10 +263,31 @@ Status NativeCacheManager::Read(Lbn lbn, uint64_t* token) {
   const uint32_t set = SetOf(lbn);
   const uint16_t way = FindWay(set, lbn);
   if (way != kNilWay) {
-    ++stats_.read_hits;
+    const Status rs = ssd_->Read(SsdPageOf(set, way), token);
+    if (rs != Status::kCorrupt) {
+      ++stats_.read_hits;
+      LruUnlink(set, way);
+      LruPushFront(set, way);
+      return rs;
+    }
+    // Uncorrectable flash read: drop the slot. A dirty block is lost for
+    // good; a clean one degrades to a miss and is refetched from disk below.
+    Slot& s = SlotAt(set, way);
+    const bool was_dirty = (s.state == SlotState::kDirty);
+    ++stats_.read_errors;
+    if (was_dirty) {
+      ++stats_.lost_dirty;
+      --set_dirty_[set];
+      --dirty_total_;
+      MetadataUpdate();
+    }
+    ssd_->Trim(SsdPageOf(set, way));
     LruUnlink(set, way);
-    LruPushFront(set, way);
-    return ssd_->Read(SsdPageOf(set, way), token);
+    s = Slot{};
+    --occupied_;
+    if (was_dirty) {
+      return Status::kIoError;
+    }
   }
   ++stats_.read_misses;
   uint64_t fetched = 0;

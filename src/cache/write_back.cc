@@ -20,6 +20,16 @@ Status WriteBackManager::Read(Lbn lbn, uint64_t* token) {
     ++stats_.read_hits;
     return s;
   }
+  if (s == Status::kIoError) {
+    // An uncorrectable dirty page: the only copy of the data is gone (the
+    // SSC already dropped its mapping). Surface the loss and forget the
+    // block so the slot can be rewritten.
+    ++stats_.read_errors;
+    ++stats_.lost_dirty;
+    dirty_table_.Erase(lbn);
+    checksums_.erase(lbn);
+    return s;
+  }
   if (s != Status::kNotPresent) {
     return s;
   }
@@ -28,7 +38,11 @@ Status WriteBackManager::Read(Lbn lbn, uint64_t* token) {
   if (Status ds = disk_->Read(lbn, &fetched); !IsOk(ds)) {
     return ds;
   }
-  if (Status cs = ssc_->WriteClean(lbn, fetched); !IsOk(cs) && cs != Status::kNoSpace) {
+  // A medium failure while populating the cache does not fail the miss — the
+  // data is already in hand from disk, and no stale version existed (the
+  // read above said not-present).
+  if (Status cs = ssc_->WriteClean(lbn, fetched);
+      !IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError) {
     return cs;
   }
   if (token != nullptr) {
@@ -39,6 +53,9 @@ Status WriteBackManager::Read(Lbn lbn, uint64_t* token) {
 
 Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
   ++stats_.writes;
+  if (degraded_ && (++degraded_write_count_ % kDegradedProbeInterval) != 0) {
+    return PassThroughWrite(lbn, token);
+  }
   Status s = ssc_->WriteDirty(lbn, token);
   // The SSC can run out of physical space with the dirty table still under
   // threshold (sparsely-used erase blocks hold fewer cached pages than their
@@ -66,9 +83,22 @@ Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
     ++stats_.evicts;
     return Status::kOk;
   }
+  if (s == Status::kIoError) {
+    // Flash failure that survived the SSC's own retries. The write itself is
+    // safe — it lands on disk — but repeated failures trip the manager into
+    // degraded pass-through so a dying device cannot stall the write path.
+    if (!degraded_ && ++consecutive_write_failures_ >= kDegradedTripLimit) {
+      degraded_ = true;
+      degraded_write_count_ = 0;
+      ++stats_.degraded_entries;
+    }
+    return PassThroughWrite(lbn, token);
+  }
   if (!IsOk(s)) {
     return s;
   }
+  consecutive_write_failures_ = 0;
+  degraded_ = false;  // a successful probe re-engages the cache
   dirty_table_.Touch(lbn);
   if (options_.verify_checksums) {
     checksums_[lbn] = token;
@@ -98,6 +128,16 @@ Status WriteBackManager::CleanRun(Lbn seed) {
   for (Lbn lbn = start; lbn <= end; ++lbn) {
     uint64_t token = 0;
     if (Status s = ssc_->Read(lbn, &token); !IsOk(s)) {
+      if (s == Status::kIoError) {
+        // The only copy of this dirty block is unreadable. Record the loss,
+        // forget the block (progress is guaranteed even when it is the run's
+        // first page), and clean whatever was collected before it.
+        ++stats_.read_errors;
+        ++stats_.lost_dirty;
+        dirty_table_.Erase(lbn);
+        checksums_.erase(lbn);
+        break;
+      }
       return Status::kCorrupt;  // the table says dirty, the SSC must have it
     }
     if (options_.verify_checksums) {
@@ -109,6 +149,10 @@ Status WriteBackManager::CleanRun(Lbn seed) {
     }
     tokens.push_back(token);
   }
+  if (tokens.empty()) {
+    return Status::kOk;
+  }
+  end = start + tokens.size() - 1;  // a loss above may have truncated the run
   if (Status s = disk_->WriteRun(start, tokens); !IsOk(s)) {
     return s;
   }
@@ -130,6 +174,21 @@ Status WriteBackManager::CleanRun(Lbn seed) {
     checksums_.erase(lbn);
     ++stats_.writebacks;
   }
+  return Status::kOk;
+}
+
+Status WriteBackManager::PassThroughWrite(Lbn lbn, uint64_t token) {
+  // The newest data goes to disk; any cached version (including the stale
+  // one a failed overwrite left behind) must go so it can never surface.
+  if (Status ds = disk_->Write(lbn, token); !IsOk(ds)) {
+    return ds;
+  }
+  if (Status es = ssc_->Evict(lbn); !IsOk(es)) {
+    return es;
+  }
+  dirty_table_.Erase(lbn);
+  checksums_.erase(lbn);
+  ++stats_.pass_through_writes;
   return Status::kOk;
 }
 

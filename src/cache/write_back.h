@@ -61,6 +61,12 @@ class WriteBackManager final : public CacheManager {
   // hardware; used by fault-injection tests).
   uint64_t checksum_failures() const { return checksum_failures_; }
 
+  // True while the manager is in degraded pass-through: after
+  // kDegradedTripLimit consecutive cache write failures it sends writes
+  // straight to disk, probing the cache every kDegradedProbeInterval writes
+  // and re-engaging when a probe succeeds.
+  bool degraded() const { return degraded_; }
+
   // Writes every dirty block back to disk and cleans it (orderly shutdown).
   Status FlushAll();
 
@@ -72,10 +78,15 @@ class WriteBackManager final : public CacheManager {
   friend class InvariantChecker;
   friend class CheckTestPeer;  // injects corruption in invariant-checker tests
 
+  static constexpr uint32_t kDegradedTripLimit = 4;
+  static constexpr uint32_t kDegradedProbeInterval = 64;
+
   // Cleans LRU dirty blocks until the table is below the threshold.
   Status CleanToThreshold();
   // Cleans the contiguous dirty run containing `seed` (one disk write).
   Status CleanRun(Lbn seed);
+  // Lands `token` on disk and scrubs every cached trace of `lbn`.
+  Status PassThroughWrite(Lbn lbn, uint64_t token);
 
   SscDevice* ssc_;
   DiskModel* disk_;
@@ -84,6 +95,9 @@ class WriteBackManager final : public CacheManager {
   DirtyTable dirty_table_;
   std::unordered_map<Lbn, uint64_t> checksums_;  // only if verify_checksums
   uint64_t checksum_failures_ = 0;
+  bool degraded_ = false;
+  uint32_t consecutive_write_failures_ = 0;
+  uint64_t degraded_write_count_ = 0;
   ManagerStats stats_;
 };
 

@@ -9,7 +9,12 @@ Status WriteThroughManager::Read(Lbn lbn, uint64_t* token) {
     ++stats_.read_hits;
     return s;
   }
-  if (s != Status::kNotPresent) {
+  if (s == Status::kIoError) {
+    // Every block a write-through cache holds is clean, so even an
+    // uncorrectable cache read can be served from disk; fall through to the
+    // miss path.
+    ++stats_.read_errors;
+  } else if (s != Status::kNotPresent) {
     return s;
   }
   ++stats_.read_misses;
@@ -17,9 +22,10 @@ Status WriteThroughManager::Read(Lbn lbn, uint64_t* token) {
   if (Status ds = disk_->Read(lbn, &fetched); !IsOk(ds)) {
     return ds;
   }
-  // Populate the cache with the miss; if the SSC is out of space the miss
-  // still succeeds from disk.
-  if (Status cs = ssc_->WriteClean(lbn, fetched); !IsOk(cs) && cs != Status::kNoSpace) {
+  // Populate the cache with the miss; if the SSC is out of space (or the
+  // flash write fails) the miss still succeeds from disk.
+  if (Status cs = ssc_->WriteClean(lbn, fetched);
+      !IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError) {
     return cs;
   }
   if (token != nullptr) {
@@ -33,6 +39,13 @@ Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
   if (Status ds = disk_->Write(lbn, token); !IsOk(ds)) {
     return ds;
   }
+  if (degraded_ && (++degraded_write_count_ % kDegradedProbeInterval) != 0) {
+    // Pass-through: the disk already has the new data; only make sure no
+    // stale cached copy can ever surface.
+    ++stats_.pass_through_writes;
+    ++stats_.evicts;
+    return ssc_->Evict(lbn);
+  }
   Status cs = ssc_->WriteClean(lbn, token);
   if (cs == Status::kNoSpace) {
     // Could not cache the new version: the old one, if any, must go (the
@@ -40,6 +53,21 @@ Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
     // data to it", Section 3.1).
     ++stats_.evicts;
     cs = ssc_->Evict(lbn);
+  } else if (cs == Status::kIoError) {
+    // Flash failure that survived the SSC's retries. The host write already
+    // succeeded against the disk; evict any stale copy, and trip into
+    // degraded pass-through when failures persist.
+    if (!degraded_ && ++consecutive_write_failures_ >= kDegradedTripLimit) {
+      degraded_ = true;
+      degraded_write_count_ = 0;
+      ++stats_.degraded_entries;
+    }
+    ++stats_.pass_through_writes;
+    ++stats_.evicts;
+    return ssc_->Evict(lbn);
+  } else if (IsOk(cs)) {
+    consecutive_write_failures_ = 0;
+    degraded_ = false;  // a successful probe re-engages the cache
   }
   return cs;
 }

@@ -26,9 +26,20 @@ class WriteThroughManager final : public CacheManager {
   size_t HostMemoryUsage() const override { return 0; }
   const ManagerStats& stats() const override { return stats_; }
 
+  // True while repeated cache write failures have tripped the manager into
+  // disk-only pass-through (writes still evict stale cached copies; a
+  // periodic probe re-engages the cache when it recovers).
+  bool degraded() const { return degraded_; }
+
  private:
+  static constexpr uint32_t kDegradedTripLimit = 4;
+  static constexpr uint32_t kDegradedProbeInterval = 64;
+
   SscDevice* ssc_;
   DiskModel* disk_;
+  bool degraded_ = false;
+  uint32_t consecutive_write_failures_ = 0;
+  uint64_t degraded_write_count_ = 0;
   ManagerStats stats_;
 };
 

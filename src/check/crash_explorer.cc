@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_set>
 
 #include "src/check/invariant_checker.h"
 #include "src/util/bitmap.h"
@@ -33,6 +34,15 @@ std::string CrashExplorerReport::ToString() const {
                 (unsigned long long)points_explored, (unsigned long long)total_commit_points,
                 (unsigned long long)violation_count, (unsigned long long)trials_with_violations);
   std::string out(buffer);
+  if (baseline_faults.program_failures != 0 || baseline_faults.erase_failures != 0 ||
+      baseline_faults.read_corruptions != 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "\n  faults injected per trial: %llu program, %llu erase, %llu read",
+                  (unsigned long long)baseline_faults.program_failures,
+                  (unsigned long long)baseline_faults.erase_failures,
+                  (unsigned long long)baseline_faults.read_corruptions);
+    out += buffer;
+  }
   for (const std::string& s : samples) {
     out += "\n  ";
     out += s;
@@ -52,6 +62,8 @@ SscConfig CrashExplorer::DeviceConfig() const {
   config.mode = options_.mode;
   config.group_commit_ops = options_.group_commit_ops;
   config.checkpoint_interval_writes = options_.checkpoint_interval_writes;
+  config.fault_plan = options_.faults;
+  config.break_retirement_for_testing = options_.break_retirement;
   return config;
 }
 
@@ -88,11 +100,20 @@ std::vector<CrashExplorer::ScriptedOp> CrashExplorer::BuildScript() const {
 }
 
 std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& script,
-                                                 uint64_t crash_point, uint64_t* points_out) {
+                                                 uint64_t crash_point, uint64_t* points_out,
+                                                 FaultStats* faults_out) {
   SimClock clock;
   SscDevice ssc(DeviceConfig(), &clock);
   std::vector<ShadowEntry> shadow(options_.address_blocks);
   std::vector<std::string> violations;
+
+  // Dirty data destroyed by an injected medium fault. The hook fires at the
+  // instant the SSC drops a dirty page it cannot read or relocate; those
+  // lbns may legitimately be missing (or error) afterwards, but must still
+  // never surface stale tokens.
+  std::unordered_set<Lbn> lost;
+  ssc.set_data_loss_hook([&lost](Lbn lbn) { lost.insert(lbn); });
+  const bool faults_on = options_.faults.enabled;
 
   uint64_t points = 0;
   const bool trace = options_.verbose && crash_point == ~uint64_t{0};
@@ -148,6 +169,10 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
       case OpKind::kWriteDirty:
         if (IsOk(s)) {
           entry = {ShadowState::kDirty, op.token};
+          lost.erase(op.lbn);  // fresh acknowledged data: G1 fully re-attaches
+        } else if (s == Status::kIoError && faults_on) {
+          // The medium rejected the write even after the SSC's retries.
+          // Failure atomicity: the cache state (and the shadow) is unchanged.
         } else if (s != Status::kNoSpace) {
           violations.push_back(FmtViolation("pre-crash", op.lbn, "write-dirty failed"));
         }
@@ -155,6 +180,9 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
       case OpKind::kWriteClean:
         if (IsOk(s)) {
           entry = {ShadowState::kClean, op.token};
+          lost.erase(op.lbn);
+        } else if (s == Status::kIoError && faults_on) {
+          // As above: a failed program leaves the previous version intact.
         } else if (s != Status::kNoSpace) {
           violations.push_back(FmtViolation("pre-crash", op.lbn, "write-clean failed"));
         }
@@ -169,7 +197,15 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
             }
             break;
           case ShadowState::kDirty:
-            if (!IsOk(s) || read_token != entry.token) {
+            if (IsOk(s)) {
+              if (read_token != entry.token) {
+                violations.push_back(FmtViolation("pre-crash G1", op.lbn, "stale dirty read"));
+              }
+            } else if (lost.count(op.lbn) != 0) {
+              // The only copy was destroyed by an injected fault (possibly
+              // detected by this very read); the block now behaves as gone.
+              entry = {ShadowState::kEvicted, 0};
+            } else {
               violations.push_back(FmtViolation("pre-crash G1", op.lbn, "dirty data lost"));
             }
             break;
@@ -190,12 +226,17 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
           }
         } else if (s == Status::kNotPresent) {
           if (entry.state == ShadowState::kDirty) {
-            violations.push_back(FmtViolation("pre-crash G1", op.lbn, "dirty block vanished"));
+            if (lost.count(op.lbn) != 0) {
+              entry = {ShadowState::kEvicted, 0};
+            } else {
+              violations.push_back(FmtViolation("pre-crash G1", op.lbn, "dirty block vanished"));
+            }
           }
         }
         break;
       case OpKind::kEvict:
         entry = {ShadowState::kEvicted, 0};
+        lost.erase(op.lbn);  // an acknowledged evict makes the loss moot
         break;
       case OpKind::kCollect:
         break;
@@ -205,6 +246,25 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
   ssc.persist_for_testing()->set_commit_point_hook_for_testing(nullptr);
   if (points_out != nullptr) {
     *points_out = points;
+  }
+
+  // The workload is over: everything from here on (invariant audits, crash,
+  // recovery, the shadow-model sweep) is the checker observing the device.
+  // Suspend new fault draws so the act of checking cannot itself destroy
+  // state — e.g. a verification read must not corrupt the page it verifies.
+  // Sticky fault state (bad blocks, pages already corrupted by the workload)
+  // remains in force and recovery must still handle it correctly.
+  ssc.device_for_testing()->set_fault_injection_paused(true);
+
+  // When the script ran to completion the live (pre-crash) state must also
+  // be structurally sound — this is what catches fault-handling bugs that a
+  // crash would mask, e.g. a failed erase whose block went back to the free
+  // list (the --break-retry self-test).
+  if (options_.run_invariant_checker && !crashed) {
+    const CheckReport live = InvariantChecker::Check(ssc);
+    for (const InvariantViolation& v : live.violations) {
+      violations.push_back("live-state invariant [" + v.invariant + "] " + v.detail);
+    }
   }
 
   // Power failure (also applied when the script ran to completion: a crash
@@ -251,6 +311,13 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
         allow_not_present = true;  // silent eviction may have dropped it
         break;
     }
+    // An injected fault destroyed this block's only copy mid-run (surfaced
+    // through the data-loss hook): it may be gone or unreadable, but a stale
+    // token is still forbidden.
+    if (lost.count(lbn) != 0) {
+      require_dirty = false;
+      allow_not_present = true;
+    }
     // The in-flight operation may or may not have taken effect.
     if (lbn_in_flight) {
       require_dirty = false;
@@ -287,7 +354,11 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
       continue;
     }
     if (!IsOk(s)) {
-      violations.push_back(FmtViolation("recovery", lbn, "read error after recovery"));
+      // A latent media fault may only be *detected* by this read, in which
+      // case the loss hook has just fired; check membership after the read.
+      if (lost.count(lbn) == 0) {
+        violations.push_back(FmtViolation("recovery", lbn, "read error after recovery"));
+      }
       continue;
     }
     const bool token_allowed = (allowed_count > 0 && token == allowed_tokens[0]) ||
@@ -310,6 +381,9 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
       }
     }
   }
+  if (faults_out != nullptr) {
+    *faults_out = ssc.device().fault_stats();
+  }
   return violations;
 }
 
@@ -322,7 +396,7 @@ CrashExplorerReport CrashExplorer::Explore() {
   // trial still ends with a quiescent crash + recovery, which must be clean.
   uint64_t total_points = 0;
   std::vector<std::string> baseline =
-      RunTrial(script, /*crash_point=*/~uint64_t{0}, &total_points);
+      RunTrial(script, /*crash_point=*/~uint64_t{0}, &total_points, &report.baseline_faults);
   report.total_commit_points = total_points;
   if (!baseline.empty()) {
     ++report.trials_with_violations;
@@ -339,7 +413,7 @@ CrashExplorerReport CrashExplorer::Explore() {
     if (options_.max_points != 0 && report.points_explored >= options_.max_points) {
       break;
     }
-    std::vector<std::string> found = RunTrial(script, point, nullptr);
+    std::vector<std::string> found = RunTrial(script, point, nullptr, nullptr);
     ++report.points_explored;
     if (!found.empty()) {
       ++report.trials_with_violations;

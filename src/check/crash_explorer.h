@@ -56,9 +56,21 @@ struct CrashExplorerOptions {
   uint32_t max_points = 0;
   uint32_t stride = 1;
 
+  // Medium fault injection (--faults): the plan is installed in the SSC's
+  // flash device, so every trial composes the same deterministic fault
+  // schedule with a different crash point. Dirty data destroyed by a fault
+  // is reported through the SSC's data-loss hook and excused from the
+  // post-recovery shadow check; everything else must still hold G1–G3.
+  FaultPlan faults;
+
   // Test hook: make Recover() drop the log tail, which must surface as G1/G2
   // violations (proves the checker detects a broken recovery path).
   bool break_recovery = false;
+
+  // Test hook (--break-retry): disable bad-block retirement so erase-failed
+  // blocks go back to the free list non-erased — the invariant checker must
+  // flag them (proves injected faults are actually detected).
+  bool break_retirement = false;
 
   // Run InvariantChecker::Check on the recovered device after each trial.
   bool run_invariant_checker = true;
@@ -71,6 +83,9 @@ struct CrashExplorerReport {
   uint64_t points_explored = 0;      // trials actually executed
   uint64_t trials_with_violations = 0;
   uint64_t violation_count = 0;
+  // Faults the crash-free baseline run injected (proof the schedule fired;
+  // every trial replays the same deterministic plan up to its crash point).
+  FaultStats baseline_faults;
   std::vector<std::string> samples;  // first few violation descriptions
 
   static constexpr size_t kMaxSamples = 32;
@@ -115,9 +130,10 @@ class CrashExplorer {
   // Runs the script with a crash injected at commit point `crash_point`
   // (counting from 0), recovers, and verifies. Returns violations found.
   // `crash_point` == UINT64_MAX runs crash-free and reports the number of
-  // commit points through `points_out`.
+  // commit points through `points_out` (and, when `faults_out` is non-null,
+  // the faults the device injected).
   std::vector<std::string> RunTrial(const std::vector<ScriptedOp>& script, uint64_t crash_point,
-                                    uint64_t* points_out);
+                                    uint64_t* points_out, FaultStats* faults_out);
 
   CrashExplorerOptions options_;
 };

@@ -123,9 +123,10 @@ CheckReport InvariantChecker::CheckSscOnly(const SscDevice& ssc) {
   const uint64_t total_blocks = g.TotalBlocks();
 
   // Block classification: every erase block must be in exactly one of
-  // {allocator-free, log, data, dead}. Build the sets up front.
-  enum : uint8_t { kUnknown = 0, kFree, kLog, kData, kDead };
-  static const char* const kClassName[] = {"unclassified", "free", "log", "data", "dead"};
+  // {allocator-free, log, data, dead, retired}. Build the sets up front.
+  enum : uint8_t { kUnknown = 0, kFree, kLog, kData, kDead, kRetired };
+  static const char* const kClassName[] = {"unclassified", "free",    "log",
+                                           "data",         "dead",    "retired"};
   std::vector<uint8_t> cls(total_blocks, kUnknown);
   auto classify = [&](PhysBlock b, uint8_t c) {
     ++report.checks_run;
@@ -142,6 +143,7 @@ CheckReport InvariantChecker::CheckSscOnly(const SscDevice& ssc) {
     cls[b] = c;
   };
   ssc.allocator_->ForEachFree([&](PhysBlock b) { classify(b, kFree); });
+  ssc.allocator_->ForEachRetired([&](PhysBlock b) { classify(b, kRetired); });
   for (PhysBlock b : ssc.log_blocks_) {
     classify(b, kLog);
   }
@@ -162,6 +164,16 @@ CheckReport InvariantChecker::CheckSscOnly(const SscDevice& ssc) {
         report.Add("allocator.free-erased",
                    Fmt("free block %llu has write pointer %u", (unsigned long long)b,
                        device.write_pointer(b)));
+      }
+    }
+    // Retirement is for failed media only: a healthy block parked in the
+    // retired set would silently shrink the cache.
+    if (cls[b] == kRetired) {
+      ++report.checks_run;
+      if (!device.BlockBad(b)) {
+        report.Add("allocator.retired-bad",
+                   Fmt("retired block %llu is not marked bad by the device",
+                       (unsigned long long)b));
       }
     }
   }

@@ -28,15 +28,26 @@ ReplayMetrics ReplayEngine::Run(TraceSource& source) {
         ++metrics_.failed_requests;
       } else if (options_.verify) {
         oracle_[record.lbn] = token;
+        lost_blocks_.erase(record.lbn);
       }
       if (measured) {
         ++metrics_.writes;
       }
     } else {
       uint64_t token = 0;
-      if (!IsOk(manager.Read(record.lbn, &token))) {
+      const Status rs = manager.Read(record.lbn, &token);
+      if (!IsOk(rs)) {
+        // A medium error (lost dirty block) is reported, not hidden; count it
+        // apart from ordinary failures and stop oracle-checking the block —
+        // the disk copy it falls back to is some older version by definition.
         ++metrics_.failed_requests;
-      } else if (options_.verify && token != ExpectedToken(record.lbn)) {
+        ++metrics_.read_errors;
+        if (options_.verify) {
+          oracle_.erase(record.lbn);
+          lost_blocks_.insert(record.lbn);
+        }
+      } else if (options_.verify && lost_blocks_.count(record.lbn) == 0 &&
+                 token != ExpectedToken(record.lbn)) {
         ++metrics_.stale_reads;
       }
       if (measured) {

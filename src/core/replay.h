@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/core/flashtier.h"
 #include "src/trace/trace.h"
@@ -28,7 +29,11 @@ struct ReplayMetrics {
   uint64_t elapsed_us = 0;       // virtual time spent in the measured phase
   uint64_t warmup_requests = 0;  // replayed before measurement began
   uint64_t stale_reads = 0;      // correctness violations (must be 0)
-  uint64_t failed_requests = 0;  // manager returned an error (must be 0)
+  uint64_t failed_requests = 0;  // manager returned an error
+  // Reads that failed with a medium error (kIoError after fault injection
+  // destroyed a dirty block). Distinct from stale_reads: an error is honest —
+  // the system admits the loss — while a stale read silently lies.
+  uint64_t read_errors = 0;
   LatencyHistogram response_us;
 
   double Iops() const {
@@ -64,6 +69,10 @@ class ReplayEngine {
   Options options_;
   ReplayMetrics metrics_;
   std::unordered_map<Lbn, uint64_t> oracle_;  // newest token per block
+  // Blocks whose newest data was lost to a medium error: the oracle cannot
+  // predict what the disk holds for them, so stale-checking is suspended
+  // until the next successful write re-establishes a known token.
+  std::unordered_set<Lbn> lost_blocks_;
 };
 
 }  // namespace flashtier

@@ -3,16 +3,28 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/util/crc32.h"
+
 namespace flashtier {
 
 FlashDevice::FlashDevice(const FlashGeometry& geometry, const FlashTimings& timings,
-                         SimClock* clock, bool store_data)
+                         SimClock* clock, bool store_data, const FaultPlan& faults)
     : geometry_(geometry),
       timings_(timings),
       clock_(clock),
       store_data_(store_data),
+      faults_(faults),
+      fault_rng_(faults.seed),
       pages_(geometry.TotalPages()),
       blocks_(geometry.TotalBlocks()) {}
+
+bool FlashDevice::InjectFault(const std::vector<uint64_t>& script, uint64_t ordinal,
+                              double prob) {
+  if (std::find(script.begin(), script.end(), ordinal) != script.end()) {
+    return true;
+  }
+  return prob > 0.0 && fault_rng_.Chance(prob);
+}
 
 Status FlashDevice::ProgramPage(PhysBlock block, const OobRecord& oob, uint64_t token,
                                 const uint8_t* data, Ppn* ppn) {
@@ -22,6 +34,21 @@ Status FlashDevice::ProgramPage(PhysBlock block, const OobRecord& oob, uint64_t 
   Block& b = blocks_[block];
   if (b.next_page >= geometry_.pages_per_block) {
     return Status::kNoSpace;
+  }
+  if (faults_.enabled) {
+    bool inject = false;
+    if (!fault_injection_paused_) {
+      ++program_ops_;
+      inject = InjectFault(faults_.program_fail_at, program_ops_, faults_.program_fail_prob);
+    }
+    if (b.bad || b.program_failed || inject) {
+      // The aborted program leaves the write pointer where it was; the block
+      // only becomes usable again through a successful erase.
+      b.program_failed = true;
+      ++fault_stats_.program_failures;
+      Charge(timings_.WriteCostUs());
+      return Status::kIoError;
+    }
   }
   const Ppn p = geometry_.FirstPpnOf(block) + b.next_page;
   ++b.next_page;
@@ -33,6 +60,8 @@ Status FlashDevice::ProgramPage(PhysBlock block, const OobRecord& oob, uint64_t 
   page.token = token;
   if (store_data_ && data != nullptr) {
     data_[p].assign(data, data + geometry_.page_size);
+    page.crc = Crc32c(data, geometry_.page_size);
+    page.has_crc = true;
   }
   ++stats_.page_writes;
   Charge(timings_.WriteCostUs());
@@ -46,9 +75,24 @@ Status FlashDevice::ReadPage(Ppn ppn, uint64_t* token, OobRecord* oob_out, uint8
   if (ppn >= pages_.size()) {
     return Status::kInvalidArgument;
   }
-  const Page& page = pages_[ppn];
+  Page& page = pages_[ppn];
   if (page.state == PageState::kFree) {
     return Status::kIoError;
+  }
+  if (faults_.enabled) {
+    if (!fault_injection_paused_) {
+      ++read_ops_;
+      if (!page.corrupt &&
+          InjectFault(faults_.read_corrupt_at, read_ops_, faults_.read_corrupt_prob)) {
+        page.corrupt = true;
+      }
+    }
+    if (page.corrupt) {
+      ++fault_stats_.read_corruptions;
+      ++stats_.page_reads;
+      Charge(timings_.ReadCostUs());
+      return Status::kCorrupt;
+    }
   }
   if (token != nullptr) {
     *token = page.token;
@@ -66,6 +110,11 @@ Status FlashDevice::ReadPage(Ppn ppn, uint64_t* token, OobRecord* oob_out, uint8
   }
   ++stats_.page_reads;
   Charge(timings_.ReadCostUs());
+  if (data != nullptr && page.has_crc &&
+      Crc32c(data, geometry_.page_size) != page.crc) {
+    ++fault_stats_.crc_mismatches;
+    return Status::kCorrupt;
+  }
   return Status::kOk;
 }
 
@@ -126,18 +175,38 @@ Status FlashDevice::EraseBlock(PhysBlock block) {
     return Status::kInvalidArgument;
   }
   Block& b = blocks_[block];
+  if (faults_.enabled) {
+    bool inject = false;
+    if (!fault_injection_paused_) {
+      ++erase_ops_;
+      inject = InjectFault(faults_.erase_fail_at, erase_ops_, faults_.erase_fail_prob);
+    }
+    const bool worn_out = faults_.wear_out_erases > 0 && b.erase_count >= faults_.wear_out_erases;
+    if (b.bad || worn_out || inject) {
+      // A failed erase is permanent: the block is bad and its pages keep
+      // whatever (possibly invalid) contents they had.
+      b.bad = true;
+      ++fault_stats_.erase_failures;
+      Charge(timings_.EraseCostUs());
+      return Status::kIoError;
+    }
+  }
   const Ppn first = geometry_.FirstPpnOf(block);
   for (uint32_t i = 0; i < b.next_page; ++i) {
     Page& page = pages_[first + i];
     page.state = PageState::kFree;
     page.oob = OobRecord{};
     page.token = 0;
+    page.crc = 0;
+    page.has_crc = false;
+    page.corrupt = false;
     if (store_data_) {
       data_.erase(first + i);
     }
   }
   b.next_page = 0;
   b.valid_pages = 0;
+  b.program_failed = false;
   ++b.erase_count;
   ++stats_.erases;
   Charge(timings_.EraseCostUs());
@@ -156,6 +225,35 @@ Status FlashDevice::CopyPage(Ppn src, PhysBlock dst_block, Ppn* dst_ppn) {
   if (db.next_page >= geometry_.pages_per_block) {
     return Status::kNoSpace;
   }
+  if (faults_.enabled) {
+    // A copy is an internal read + program; both legs can fail. All checks
+    // happen before any mutation so a failed copy leaves the medium unchanged
+    // (the source stays valid, the destination pointer does not move).
+    if (!fault_injection_paused_) {
+      ++read_ops_;
+      if (!src_page.corrupt &&
+          InjectFault(faults_.read_corrupt_at, read_ops_, faults_.read_corrupt_prob)) {
+        src_page.corrupt = true;
+      }
+    }
+    if (src_page.corrupt) {
+      ++fault_stats_.read_corruptions;
+      ++stats_.page_reads;
+      Charge(timings_.ReadCostUs());
+      return Status::kCorrupt;
+    }
+    bool inject = false;
+    if (!fault_injection_paused_) {
+      ++program_ops_;
+      inject = InjectFault(faults_.program_fail_at, program_ops_, faults_.program_fail_prob);
+    }
+    if (db.bad || db.program_failed || inject) {
+      db.program_failed = true;
+      ++fault_stats_.program_failures;
+      Charge(timings_.CopyCostUs());
+      return Status::kIoError;
+    }
+  }
   const Ppn dst = geometry_.FirstPpnOf(dst_block) + db.next_page;
   ++db.next_page;
   ++db.valid_pages;
@@ -163,6 +261,8 @@ Status FlashDevice::CopyPage(Ppn src, PhysBlock dst_block, Ppn* dst_ppn) {
   dst_page.state = PageState::kValid;
   dst_page.oob = src_page.oob;  // the copied page is the same logical version
   dst_page.token = src_page.token;
+  dst_page.crc = src_page.crc;
+  dst_page.has_crc = src_page.has_crc;
   if (store_data_) {
     const auto it = data_.find(src);
     if (it != data_.end()) {
@@ -194,6 +294,13 @@ uint32_t FlashDevice::MaxWearDiff() const {
 
 size_t FlashDevice::MemoryUsage() const {
   return pages_.capacity() * sizeof(Page) + blocks_.capacity() * sizeof(Block);
+}
+
+void FlashDevice::CorruptStoredDataForTesting(Ppn ppn) {
+  const auto it = data_.find(ppn);
+  if (it != data_.end() && !it->second.empty()) {
+    it->second[0] ^= 0xFF;
+  }
 }
 
 }  // namespace flashtier

@@ -20,9 +20,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/flash/fault_plan.h"
 #include "src/flash/geometry.h"
 #include "src/flash/timing.h"
 #include "src/flash/types.h"
+#include "src/util/rng.h"
 #include "src/util/status.h"
 
 namespace flashtier {
@@ -53,11 +55,13 @@ struct FlashStats {
 class FlashDevice {
  public:
   FlashDevice(const FlashGeometry& geometry, const FlashTimings& timings, SimClock* clock,
-              bool store_data = false);
+              bool store_data = false, const FaultPlan& faults = FaultPlan{});
 
   const FlashGeometry& geometry() const { return geometry_; }
   const FlashTimings& timings() const { return timings_; }
   const FlashStats& stats() const { return stats_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  const FaultPlan& fault_plan() const { return faults_; }
 
   PageState page_state(Ppn ppn) const { return pages_[ppn].state; }
   const OobRecord& oob(Ppn ppn) const { return pages_[ppn].oob; }
@@ -71,6 +75,12 @@ class FlashDevice {
   bool BlockErased(PhysBlock block) const {
     return blocks_[block].next_page == 0;
   }
+  // The block failed an erase (or wore out) and can never be reused. Sticky
+  // medium state: it survives crashes and erase attempts alike.
+  bool BlockBad(PhysBlock block) const { return blocks_[block].bad; }
+  // The block aborted a program and cannot accept further programs until it
+  // is successfully erased. Its already-programmed pages remain readable.
+  bool BlockProgramFailed(PhysBlock block) const { return blocks_[block].program_failed; }
 
   // Programs the next free page of `block`; returns the assigned PPN through
   // `*ppn`. Fails with kNoSpace if the block is full. The token identifies
@@ -118,17 +128,37 @@ class FlashDevice {
   // memory experiments only account FTL state, so this is informational.
   size_t MemoryUsage() const;
 
+  // Flips a byte of the stored payload of `ppn` without updating its CRC, so
+  // integrity tests can prove the read-time CRC check catches silent
+  // corruption. Requires store_data; no-op if the page has no payload.
+  void CorruptStoredDataForTesting(Ppn ppn);
+
+  // Suspends NEW fault draws (and their op-ordinal accounting) while leaving
+  // sticky fault state — bad blocks, program-failed blocks, corrupt pages —
+  // fully in effect. Verification harnesses pause injection while observing
+  // the device so the act of checking cannot itself destroy state.
+  void set_fault_injection_paused(bool paused) { fault_injection_paused_ = paused; }
+
  private:
   struct Page {
     PageState state = PageState::kFree;
     OobRecord oob;
     uint64_t token = 0;
+    uint32_t crc = 0;        // CRC32-C of the stored payload (store_data only)
+    bool has_crc = false;
+    bool corrupt = false;    // injected uncorrectable read error; sticky until erase
   };
   struct Block {
     uint32_t next_page = 0;
     uint32_t valid_pages = 0;
     uint32_t erase_count = 0;
+    bool bad = false;             // erase failed or wore out; permanently retired
+    bool program_failed = false;  // program aborted; unprogrammable until erase
   };
+
+  // Returns true when the plan injects a fault for the op with this 1-based
+  // ordinal: either a scripted trigger or a probability draw.
+  bool InjectFault(const std::vector<uint64_t>& script, uint64_t ordinal, double prob);
 
   void Charge(uint64_t us) {
     stats_.busy_us += us;
@@ -139,11 +169,19 @@ class FlashDevice {
   FlashTimings timings_;
   SimClock* clock_;  // not owned
   bool store_data_;
+  FaultPlan faults_;
+  bool fault_injection_paused_ = false;
+  Rng fault_rng_;
   std::vector<Page> pages_;
   std::vector<Block> blocks_;
   std::unordered_map<Ppn, std::vector<uint8_t>> data_;
   FlashStats stats_;
+  FaultStats fault_stats_;
   uint64_t next_seq_ = 1;
+  // Per-kind op ordinals (1-based after increment) for scripted triggers.
+  uint64_t program_ops_ = 0;
+  uint64_t erase_ops_ = 0;
+  uint64_t read_ops_ = 0;
 };
 
 }  // namespace flashtier

@@ -80,6 +80,16 @@ void BlockAllocator::Free(PhysBlock block) {
   ++free_total_;
 }
 
+void BlockAllocator::Retire(PhysBlock block) {
+  if (!IsRetired(block)) {
+    retired_.push_back(block);
+  }
+}
+
+bool BlockAllocator::IsRetired(PhysBlock block) const {
+  return std::find(retired_.begin(), retired_.end(), block) != retired_.end();
+}
+
 uint32_t BlockAllocator::FullestPlane() const {
   uint32_t best = 0;
   for (uint32_t p = 1; p < free_.size(); ++p) {
@@ -95,6 +105,7 @@ size_t BlockAllocator::MemoryUsage() const {
   for (const auto& list : free_) {
     bytes += list.capacity() * sizeof(PhysBlock);
   }
+  bytes += retired_.capacity() * sizeof(PhysBlock);
   return bytes;
 }
 

@@ -40,6 +40,22 @@ class BlockAllocator {
   // Returns an erased block to the free pool.
   void Free(PhysBlock block);
 
+  // Permanently removes a block from circulation (failed erase / wear-out).
+  // Retired blocks are never handed out again and are excluded from the
+  // free-space accounting; the invariant checker audits them as their own
+  // partition class.
+  void Retire(PhysBlock block);
+  bool IsRetired(PhysBlock block) const;
+  uint32_t RetiredCount() const { return static_cast<uint32_t>(retired_.size()); }
+
+  // Calls fn(block) for every retired block (unspecified order).
+  template <typename Fn>
+  void ForEachRetired(Fn&& fn) const {
+    for (PhysBlock b : retired_) {
+      fn(b);
+    }
+  }
+
   uint32_t FreeCount() const { return free_total_; }
   uint32_t FreeInPlane(uint32_t plane) const {
     return static_cast<uint32_t>(free_[plane].size());
@@ -67,6 +83,7 @@ class BlockAllocator {
 
   const FlashDevice& device_;
   std::vector<std::vector<PhysBlock>> free_;  // per plane
+  std::vector<PhysBlock> retired_;            // bad blocks, permanently out
   uint32_t free_total_ = 0;
 };
 

@@ -21,6 +21,12 @@ struct FtlStats {
   uint64_t silent_evictions = 0;        // blocks reclaimed without copying
   uint64_t silently_evicted_pages = 0;  // valid pages dropped by silent eviction
 
+  // Fault handling (FaultPlan injection; see DESIGN.md §5d).
+  uint64_t program_retries = 0;     // host writes retried on a fresh block
+  uint64_t retired_blocks = 0;      // blocks retired after erase failure/wear-out
+  uint64_t dropped_clean_pages = 0;  // clean pages lost to media errors (just misses)
+  uint64_t lost_dirty_pages = 0;     // dirty pages lost to media errors (data loss)
+
   // Write amplification = (all flash page programs, including GC copies and
   // metadata) / host page writes - 1 would be "extra writes per block"; the
   // paper's Table 5 reports extra writes per block, e.g. 2.30 means each

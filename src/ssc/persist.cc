@@ -1,10 +1,32 @@
 #include "src/ssc/persist.h"
 
+#include "src/util/crc32.h"
+
 namespace flashtier {
 
 PersistenceManager::PersistenceManager(const Options& options, const FlashTimings& timings,
                                        SimClock* clock)
     : options_(options), timings_(timings), clock_(clock) {}
+
+uint32_t PersistenceManager::RecordCrc(const LogRecord& record) {
+  const uint64_t fields[] = {record.lsn,
+                             static_cast<uint64_t>(record.type),
+                             record.key,
+                             record.ppn,
+                             record.present_bits,
+                             record.dirty_bits};
+  return Crc32c(fields, sizeof(fields));
+}
+
+uint32_t PersistenceManager::CheckpointCrc(const std::vector<CheckpointEntry>& entries) {
+  uint32_t crc = 0;
+  for (const CheckpointEntry& e : entries) {
+    const uint64_t fields[] = {static_cast<uint64_t>(e.block_level), e.key, e.ppn,
+                               e.present_bits, e.dirty_bits};
+    crc = Crc32c(crc, fields, sizeof(fields));
+  }
+  return crc;
+}
 
 void PersistenceManager::ChargeWrites(uint64_t pages) {
   stats_.log_page_writes += pages;
@@ -25,6 +47,7 @@ void PersistenceManager::Append(const LogRecord& record, bool sync) {
   // acknowledged yet, so no consistency guarantee attaches to it.
   AtCommitPoint(CommitPoint::kAppend);
   buffer_.push_back(record);
+  buffer_.back().crc = RecordCrc(record);
   ++stats_.records_logged;
   if (sync) {
     ++stats_.sync_commits;
@@ -59,11 +82,21 @@ void PersistenceManager::Flush() {
 
 void PersistenceManager::WriteCheckpoint(std::vector<CheckpointEntry> entries) {
   AtCommitPoint(CommitPoint::kCheckpointStart);
+  // The regions alternate, so the outgoing checkpoint stays on flash until
+  // the *next* checkpoint overwrites its region. Retain it, together with the
+  // log interval it anchors (including records the new checkpoint subsumes
+  // straight from the buffer), as the fallback image for recovery.
+  prev_checkpoint_ = std::move(durable_checkpoint_);
+  prev_checkpoint_crc_ = durable_checkpoint_crc_;
+  prev_checkpoint_lsn_ = checkpoint_lsn_;
+  prev_log_ = std::move(durable_log_);
+  prev_log_.insert(prev_log_.end(), buffer_.begin(), buffer_.end());
   // Entries reflect device RAM, which is ahead of (or equal to) everything in
   // the buffer, so buffered records are subsumed by the checkpoint.
   checkpoint_lsn_ = next_lsn_ - 1;
   checkpoint_entry_count_ = entries.size();
   durable_checkpoint_ = std::move(entries);
+  durable_checkpoint_crc_ = CheckpointCrc(durable_checkpoint_);
   ChargeWrites(PagesFor(checkpoint_entry_count_ * kCheckpointEntryBytes));
   durable_log_.clear();
   buffer_.clear();
@@ -83,18 +116,67 @@ void PersistenceManager::Recover(std::vector<CheckpointEntry>* checkpoint,
   uint64_t recovery_us = 0;
   ChargeReads(PagesFor(durable_checkpoint_.size() * kCheckpointEntryBytes), &recovery_us);
   ChargeReads(PagesFor(durable_log_.size() * kRecordBytes), &recovery_us);
-  *checkpoint = durable_checkpoint_;
+
+  // Validate the current checkpoint; a failed CRC falls back to the previous
+  // one (its region is only reused by the checkpoint after next) plus the log
+  // interval between the two. A double failure degrades to an empty map and
+  // replays every retained record — the cache loses clean entries but never
+  // serves stale data.
+  const std::vector<CheckpointEntry>* base = &durable_checkpoint_;
+  uint64_t base_lsn = checkpoint_lsn_;
+  bool replay_prev_interval = false;
+  if (CheckpointCrc(durable_checkpoint_) != durable_checkpoint_crc_) {
+    ++stats_.checkpoint_fallbacks;
+    replay_prev_interval = true;
+    ChargeReads(PagesFor(prev_checkpoint_.size() * kCheckpointEntryBytes), &recovery_us);
+    ChargeReads(PagesFor(prev_log_.size() * kRecordBytes), &recovery_us);
+    if (CheckpointCrc(prev_checkpoint_) == prev_checkpoint_crc_) {
+      base = &prev_checkpoint_;
+      base_lsn = prev_checkpoint_lsn_;
+    } else {
+      static const std::vector<CheckpointEntry> kEmpty;
+      base = &kEmpty;
+      base_lsn = 0;
+    }
+  }
+
+  *checkpoint = *base;
   log_tail->clear();
   if (!skip_log_tail_replay_) {
-    for (const LogRecord& r : durable_log_) {
-      if (r.lsn > checkpoint_lsn_) {
-        log_tail->push_back(r);
+    const auto consider = [&](const LogRecord& r) {
+      if (r.lsn <= base_lsn) {
+        return;
       }
+      if (RecordCrc(r) != r.crc) {
+        // Bit-rot in the log region: the record cannot be trusted, so it is
+        // dropped from replay rather than poisoning the rebuilt map.
+        ++stats_.corrupt_records_skipped;
+        return;
+      }
+      log_tail->push_back(r);
+    };
+    if (replay_prev_interval) {
+      for (const LogRecord& r : prev_log_) {
+        consider(r);
+      }
+    }
+    for (const LogRecord& r : durable_log_) {
+      consider(r);
     }
   }
   stats_.last_recovery_us = recovery_us;
-  stats_.recovered_checkpoint_entries = durable_checkpoint_.size();
+  stats_.recovered_checkpoint_entries = base->size();
   stats_.replayed_log_records = log_tail->size();
+}
+
+void PersistenceManager::CorruptDurableRecordForTesting(size_t index) {
+  if (index < durable_log_.size()) {
+    durable_log_[index].ppn ^= 0xDEADBEEFull;  // payload rot; CRC left stale
+  }
+}
+
+void PersistenceManager::CorruptCheckpointForTesting() {
+  durable_checkpoint_crc_ ^= 0x5A5A5A5Au;
 }
 
 }  // namespace flashtier

@@ -58,6 +58,7 @@ struct LogRecord {
   Ppn ppn = kInvalidPpn;
   uint64_t present_bits = 0;  // block-level: which in-block offsets are cached
   uint64_t dirty_bits = 0;    // page: 0/1; block: 64-bit dirty bitmap or mask
+  uint32_t crc = 0;           // CRC32-C over the fields above; set by Append
 };
 
 // One serialized forward-map entry inside a checkpoint.
@@ -111,6 +112,9 @@ struct PersistStats {
   uint64_t last_recovery_us = 0;
   uint64_t recovered_checkpoint_entries = 0;
   uint64_t replayed_log_records = 0;
+  // Media-corruption handling during recovery (see DESIGN.md §5d).
+  uint64_t corrupt_records_skipped = 0;  // log records failing their CRC
+  uint64_t checkpoint_fallbacks = 0;     // recoveries served by the previous checkpoint
 };
 
 class PersistenceManager {
@@ -229,6 +233,14 @@ class PersistenceManager {
   // actually detects G1/G2 violations rather than vacuously passing.
   void set_skip_log_tail_replay_for_testing(bool skip) { skip_log_tail_replay_ = skip; }
 
+  // Media bit-rot injection: flips payload bits of the `index`-th durable log
+  // record without refreshing its CRC, so Recover() must detect and skip it.
+  void CorruptDurableRecordForTesting(size_t index);
+
+  // Rots the current checkpoint so its CRC no longer validates; Recover()
+  // must fall back to the previous checkpoint plus the retained log history.
+  void CorruptCheckpointForTesting();
+
  private:
   friend class InvariantChecker;
   friend class CheckTestPeer;  // injects corruption in invariant-checker tests
@@ -239,8 +251,9 @@ class PersistenceManager {
     }
   }
 
-  // On-flash record sizes (packed): lsn + key + ppn + present + dirty + type.
-  static constexpr uint64_t kRecordBytes = 8 + 8 + 8 + 8 + 8 + 1;
+  // On-flash record sizes (packed): lsn + key + ppn + present + dirty + type
+  // + CRC32-C.
+  static constexpr uint64_t kRecordBytes = 8 + 8 + 8 + 8 + 8 + 1 + 4;
   static constexpr uint64_t kCheckpointEntryBytes = 8 + 8 + 8 + 8 + 1;
   // Before the first checkpoint exists, checkpoint once the log reaches 4 MB.
   static constexpr uint64_t kInitialCheckpointTriggerBytes = 4ull << 20;
@@ -250,6 +263,8 @@ class PersistenceManager {
   }
   void ChargeWrites(uint64_t pages);
   void ChargeReads(uint64_t pages, uint64_t* recovery_us);
+  static uint32_t RecordCrc(const LogRecord& record);
+  static uint32_t CheckpointCrc(const std::vector<CheckpointEntry>& entries);
 
   Options options_;
   FlashTimings timings_;
@@ -260,6 +275,15 @@ class PersistenceManager {
   std::vector<CheckpointEntry> durable_checkpoint_;
   uint64_t checkpoint_lsn_ = 0;          // highest LSN covered by checkpoint
   uint64_t checkpoint_entry_count_ = 0;
+  uint32_t durable_checkpoint_crc_ = 0;
+  // The checkpoint regions alternate (Section 4.2.2), so the previous
+  // checkpoint survives until the one after next. We keep it — plus the log
+  // interval it anchors — as the fallback when the current checkpoint fails
+  // its CRC on recovery.
+  std::vector<CheckpointEntry> prev_checkpoint_;
+  std::vector<LogRecord> prev_log_;      // records between prev and current ckpt
+  uint64_t prev_checkpoint_lsn_ = 0;
+  uint32_t prev_checkpoint_crc_ = 0;
   uint64_t writes_since_checkpoint_ = 0;
   uint64_t next_lsn_ = 1;
   uint32_t atomic_batch_depth_ = 0;

@@ -21,7 +21,8 @@ SscDevice::SscDevice(const SscConfig& config, SimClock* clock)
       (config.capacity_pages + probe.pages_per_block - 1) / probe.pages_per_block;
   FlashGeometry geometry = FlashGeometry::ForCapacity(
       (capacity_blocks + kSpareBlocks) * probe.EraseBlockBytes(), probe);
-  device_ = std::make_unique<FlashDevice>(geometry, config.timings, clock);
+  device_ = std::make_unique<FlashDevice>(geometry, config.timings, clock,
+                                          /*store_data=*/false, config.fault_plan);
   allocator_ = std::make_unique<BlockAllocator>(*device_, /*reserved_blocks=*/0);
   PersistenceManager::Options popts;
   popts.mode = config.mode;
@@ -50,19 +51,57 @@ uint32_t SscDevice::LogBlockLimit() const {
 Status SscDevice::Read(Lbn lbn, uint64_t* token) {
   ++ftl_stats_.host_reads;
   if (const uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
-    return device_->ReadPage(PackedPpn(*packed), token, nullptr, nullptr);
+    const Status s = device_->ReadPage(PackedPpn(*packed), token, nullptr, nullptr);
+    return s == Status::kCorrupt ? DropCorruptPage(lbn) : s;
   }
   const uint32_t ppb = device_->geometry().pages_per_block;
   if (BlockEntry* e = block_map_.Find(lbn / ppb); e != nullptr) {
     const uint32_t off = static_cast<uint32_t>(lbn % ppb);
     if ((e->present_bits >> off) & 1u) {
       ++e->access_count;
-      return device_->ReadPage(device_->geometry().FirstPpnOf(e->phys) + off, token, nullptr,
-                               nullptr);
+      const Status s = device_->ReadPage(device_->geometry().FirstPpnOf(e->phys) + off, token,
+                                         nullptr, nullptr);
+      return s == Status::kCorrupt ? DropCorruptPage(lbn) : s;
     }
   }
   ++ftl_stats_.host_read_misses;
   clock_->Advance(config_.timings.control_us);  // in-memory lookup + reply
+  return Status::kNotPresent;
+}
+
+void SscDevice::NoteLoss(Lbn lbn, bool dirty) {
+  if (dirty) {
+    ++ftl_stats_.lost_dirty_pages;
+    if (data_loss_hook_) {
+      data_loss_hook_(lbn);
+    }
+  } else {
+    ++ftl_stats_.dropped_clean_pages;
+  }
+}
+
+Status SscDevice::DropCorruptPage(Lbn lbn) {
+  bool dirty = false;
+  if (const uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
+    dirty = PackedDirty(*packed);
+  } else if (const BlockEntry* e = block_map_.Find(lbn / device_->geometry().pages_per_block);
+             e != nullptr) {
+    dirty = ((e->dirty_bits >> (lbn % device_->geometry().pages_per_block)) & 1u) != 0;
+  }
+  // Dropping the mapping keeps G2: the page reads not-present from now on,
+  // never stale. The removal is buffered like a silent eviction; if a crash
+  // loses it, the recovered mapping points back at the sticky-corrupt page
+  // and the next read drops it again.
+  //
+  // The loss must be reported BEFORE the remove record is appended: the
+  // append can flush or checkpoint, making the removal durable at a crash
+  // commit point, and a loss the host never heard about reads as a broken G1.
+  NoteLoss(lbn, dirty);
+  InvalidateOldVersion(lbn);
+  if (dirty) {
+    return Status::kIoError;
+  }
+  ++ftl_stats_.host_read_misses;  // to the host this is an ordinary miss
   return Status::kNotPresent;
 }
 
@@ -83,20 +122,36 @@ Status SscDevice::WriteInternal(Lbn lbn, uint64_t token, bool dirty) {
     return s;
   }
 
+  // Program first, so a write the medium rejects fails with no mapping or
+  // log-record side effects: the cache still holds exactly what it held
+  // before (failure atomicity). A program failure poisons the whole block,
+  // so each retry moves to a freshly opened log block; the aborted block
+  // stays in the log FIFO (its earlier pages are still live) until a merge
+  // reclaims it.
+  OobRecord oob;
+  oob.lbn = lbn;
+  oob.flags = dirty ? 1 : 0;
+  Ppn ppn = kInvalidPpn;
+  PhysBlock active = log_blocks_.back();
+  Status ps = device_->ProgramPage(active, oob, token, nullptr, &ppn);
+  for (uint32_t retry = 0; ps == Status::kIoError && retry < config_.program_retry_limit;
+       ++retry) {
+    ++ftl_stats_.program_retries;
+    if (Status s = EnsureActiveLogBlock(); !IsOk(s)) {
+      return s;
+    }
+    active = log_blocks_.back();
+    ps = device_->ProgramPage(active, oob, token, nullptr, &ppn);
+  }
+  if (!IsOk(ps)) {
+    return ps;
+  }
+
   // An overwrite's remove and insert records must commit together: if a
   // group commit made the remove durable alone, a crash before the insert's
   // flush would recover with neither version of acknowledged data.
   PersistenceManager::AtomicBatchScope batch(persist_.get());
   const bool had_old = InvalidateOldVersion(lbn);
-
-  const PhysBlock active = log_blocks_.back();
-  OobRecord oob;
-  oob.lbn = lbn;
-  oob.flags = dirty ? 1 : 0;
-  Ppn ppn = kInvalidPpn;
-  if (Status s = device_->ProgramPage(active, oob, token, nullptr, &ppn); !IsOk(s)) {
-    return s;
-  }
   page_map_.Insert(lbn, Pack(ppn, dirty));
   log_contents_[active].push_back(lbn);
   ++cached_pages_;  // InvalidateOldVersion decremented it if this is an overwrite
@@ -327,17 +382,61 @@ Status SscDevice::RelocateDataBlock(PhysBlock phys, uint64_t logical, PhysBlock 
   }
   const FlashGeometry& g = device_->geometry();
   const uint32_t ppb = g.pages_per_block;
+  uint64_t present = 0;
+  uint64_t dirty = 0;
+  bool dst_failed = false;
   for (uint32_t off = 0; off < ppb; ++off) {
     if (((e->present_bits >> off) & 1u) == 0) {
-      device_->SkipPage(destination);
+      if (!dst_failed) {
+        device_->SkipPage(destination);
+      }
       continue;
     }
-    if (Status s = device_->CopyPage(g.FirstPpnOf(phys) + off, destination, nullptr);
-        !IsOk(s)) {
-      return s;
+    const Lbn lbn = logical * ppb + off;
+    const Ppn src = g.FirstPpnOf(phys) + off;
+    const bool src_dirty = ((e->dirty_bits >> off) & 1u) != 0;
+    Status cs = dst_failed ? Status::kIoError : device_->CopyPage(src, destination, nullptr);
+    if (cs == Status::kCorrupt || cs == Status::kIoError) {
+      // Either the source is unreadable or the destination stopped taking
+      // programs; both ways this page cannot move, and the source block is
+      // being vacated — the page is lost.
+      dst_failed = dst_failed || cs == Status::kIoError;
+      device_->MarkInvalid(src);
+      --cached_pages_;
+      if (src_dirty) {
+        --dirty_pages_;
+      }
+      NoteLoss(lbn, src_dirty);
+      if (cs == Status::kCorrupt) {
+        device_->SkipPage(destination);
+      }
+      continue;
+    }
+    if (!IsOk(cs)) {
+      return cs;
+    }
+    present |= uint64_t{1} << off;
+    if (src_dirty) {
+      dirty |= uint64_t{1} << off;
     }
   }
-  InstallDataBlock(logical, destination, e->present_bits, e->dirty_bits);
+  if (present == 0) {
+    block_map_.Erase(logical);
+    LogRecord rm;
+    rm.lsn = persist_->NextLsn();
+    rm.type = LogOpType::kRemoveBlock;
+    rm.key = logical;
+    persist_->Append(rm, /*sync=*/false);
+    phys_to_logical_[phys] = kInvalidLbn;
+    dead_blocks_.push_back(phys);
+    if (device_->BlockErased(destination) && !device_->BlockProgramFailed(destination)) {
+      allocator_->Free(destination);
+    } else {
+      dead_blocks_.push_back(destination);
+    }
+    return Status::kIoError;
+  }
+  InstallDataBlock(logical, destination, present, dirty);
   return Status::kOk;
 }
 
@@ -361,10 +460,18 @@ bool SscDevice::ReclaimDeadBlock() {
   persist_->Flush();
   const PhysBlock b = dead_blocks_.front();
   dead_blocks_.pop_front();
-  device_->EraseBlock(b);
-  allocator_->Free(b);
-  persist_->NotifyEraseBarrier();
+  EraseOrRetire(b);
   return true;
+}
+
+void SscDevice::EraseOrRetire(PhysBlock block) {
+  if (IsOk(device_->EraseBlock(block)) || config_.break_retirement_for_testing) {
+    allocator_->Free(block);
+  } else {
+    allocator_->Retire(block);
+    ++ftl_stats_.retired_blocks;
+  }
+  persist_->NotifyEraseBarrier();
 }
 
 Status SscDevice::EnsureFreeBlocks(uint32_t want) {
@@ -391,7 +498,8 @@ Status SscDevice::EnsureFreeBlocks(uint32_t want) {
 }
 
 Status SscDevice::EnsureActiveLogBlock() {
-  if (!log_blocks_.empty() && !device_->BlockFull(log_blocks_.back())) {
+  if (!log_blocks_.empty() && !device_->BlockFull(log_blocks_.back()) &&
+      !device_->BlockProgramFailed(log_blocks_.back())) {
     return Status::kOk;
   }
   if (log_blocks_.size() >= LogBlockLimit()) {
@@ -488,9 +596,7 @@ void SscDevice::SilentlyEvict(PhysBlock phys, uint64_t logical) {
   phys_to_logical_[phys] = kInvalidLbn;
   // The removal must be durable before the block's space can be reused.
   persist_->Flush();
-  device_->EraseBlock(phys);
-  allocator_->Free(phys);
-  persist_->NotifyEraseBarrier();
+  EraseOrRetire(phys);
 }
 
 // ---------------------------------------------------------------------------
@@ -546,9 +652,7 @@ void SscDevice::InstallDataBlock(uint64_t logical, PhysBlock phys, uint64_t pres
   block_birth_[phys] = ++birth_counter_;
   if (old_phys != kInvalidBlock) {
     persist_->Flush();
-    device_->EraseBlock(old_phys);
-    allocator_->Free(old_phys);
-    persist_->NotifyEraseBarrier();
+    EraseOrRetire(old_phys);
   }
 }
 
@@ -592,26 +696,74 @@ bool SscDevice::TrySwitchOrPartialMerge(PhysBlock victim) {
     // Partial merge: complete the tail from wherever the newest version of
     // each remaining offset lives (another log block or the old data block).
     BlockEntry* old = block_map_.Find(logical);
+    bool dst_failed = false;
     for (uint32_t off = static_cast<uint32_t>(lpns.size()); off < ppb; ++off) {
       const Lbn lbn = logical * ppb + off;
       Ppn src = kInvalidPpn;
       bool src_dirty = false;
+      bool from_log = false;
       if (const uint64_t* packed = page_map_.Find(lbn); packed != nullptr) {
         src = PackedPpn(*packed);
         src_dirty = PackedDirty(*packed);
+        from_log = true;
       } else if (old != nullptr && ((old->present_bits >> off) & 1u) != 0) {
         src = g.FirstPpnOf(old->phys) + off;
         src_dirty = ((old->dirty_bits >> off) & 1u) != 0;
       }
       if (src == kInvalidPpn) {
+        if (!dst_failed) {
+          device_->SkipPage(victim);
+        }
+        continue;
+      }
+      if (dst_failed) {
+        // The victim aborted a program and can take no more. Log-resident
+        // pages simply stay page-mapped; pages whose only copy is the old
+        // data block go down with it.
+        if (!from_log) {
+          device_->MarkInvalid(src);
+          --cached_pages_;
+          if (src_dirty) {
+            --dirty_pages_;
+          }
+          NoteLoss(lbn, src_dirty);
+        }
+        continue;
+      }
+      const Status cs = device_->CopyPage(src, victim, nullptr);
+      if (cs == Status::kCorrupt) {
+        // Unreadable source: the cached copy is lost; drop its mapping and
+        // keep the offsets aligned with a skip. Report the loss before the
+        // remove record — its append can crash-commit the removal.
+        NoteLoss(lbn, src_dirty);
+        device_->MarkInvalid(src);
+        if (from_log) {
+          RetireLogPage(lbn);
+        }
+        --cached_pages_;
+        if (src_dirty) {
+          --dirty_pages_;
+        }
         device_->SkipPage(victim);
         continue;
       }
-      if (!IsOk(device_->CopyPage(src, victim, nullptr))) {
+      if (cs == Status::kIoError) {
+        dst_failed = true;
+        if (!from_log) {
+          device_->MarkInvalid(src);
+          --cached_pages_;
+          if (src_dirty) {
+            --dirty_pages_;
+          }
+          NoteLoss(lbn, src_dirty);
+        }
+        continue;
+      }
+      if (!IsOk(cs)) {
         device_->SkipPage(victim);
         continue;
       }
-      if (page_map_.Contains(lbn)) {
+      if (from_log) {
         RetireLogPage(lbn);
       }
       present |= uint64_t{1} << off;
@@ -648,6 +800,7 @@ Status SscDevice::MergeLogicalBlock(uint64_t logical) {
   BlockEntry* old = block_map_.Find(logical);
   uint64_t present = 0;
   uint64_t dirty = 0;
+  bool dst_failed = false;
   for (uint32_t off = 0; off < ppb; ++off) {
     const Lbn lbn = logical * ppb + off;
     Ppn src = kInvalidPpn;
@@ -662,11 +815,58 @@ Status SscDevice::MergeLogicalBlock(uint64_t logical) {
       src_dirty = ((old->dirty_bits >> off) & 1u) != 0;
     }
     if (src == kInvalidPpn) {
+      if (!dst_failed) {
+        device_->SkipPage(fresh);
+      }
+      continue;
+    }
+    if (dst_failed) {
+      // The destination aborted a program mid-merge. Log-resident pages stay
+      // page-mapped (still live where they are); pages whose only copy is
+      // the old data block are lost, because that block is being reclaimed.
+      if (!from_log) {
+        device_->MarkInvalid(src);
+        --cached_pages_;
+        if (src_dirty) {
+          --dirty_pages_;
+        }
+        NoteLoss(lbn, src_dirty);
+      }
+      continue;
+    }
+    const Status cs = device_->CopyPage(src, fresh, nullptr);
+    if (cs == Status::kCorrupt) {
+      // Unreadable source: drop the page rather than abort the merge — a
+      // clean page is a future miss, a dirty one is counted as data loss.
+      // Report before the remove record: its append can crash-commit the
+      // removal, and an unreported loss reads as a broken G1.
+      NoteLoss(lbn, src_dirty);
+      device_->MarkInvalid(src);
+      if (from_log) {
+        RetireLogPage(lbn);
+        old = block_map_.Find(logical);
+      }
+      --cached_pages_;
+      if (src_dirty) {
+        --dirty_pages_;
+      }
       device_->SkipPage(fresh);
       continue;
     }
-    if (Status s = device_->CopyPage(src, fresh, nullptr); !IsOk(s)) {
-      return s;
+    if (cs == Status::kIoError) {
+      dst_failed = true;
+      if (!from_log) {
+        device_->MarkInvalid(src);
+        --cached_pages_;
+        if (src_dirty) {
+          --dirty_pages_;
+        }
+        NoteLoss(lbn, src_dirty);
+      }
+      continue;
+    }
+    if (!IsOk(cs)) {
+      return cs;
     }
     if (from_log) {
       RetireLogPage(lbn);
@@ -676,6 +876,28 @@ Status SscDevice::MergeLogicalBlock(uint64_t logical) {
     if (src_dirty) {
       dirty |= uint64_t{1} << off;
     }
+  }
+  if (present == 0) {
+    // Nothing survived into the fresh block (every source was lost, or the
+    // destination failed immediately). Remove the now-empty old entry and
+    // send both blocks through the dead queue instead of installing.
+    if (old != nullptr) {
+      const PhysBlock old_phys = old->phys;
+      block_map_.Erase(logical);
+      LogRecord rm;
+      rm.lsn = persist_->NextLsn();
+      rm.type = LogOpType::kRemoveBlock;
+      rm.key = logical;
+      persist_->Append(rm, /*sync=*/false);
+      phys_to_logical_[old_phys] = kInvalidLbn;
+      dead_blocks_.push_back(old_phys);
+    }
+    if (device_->BlockErased(fresh) && !device_->BlockProgramFailed(fresh)) {
+      allocator_->Free(fresh);
+    } else {
+      dead_blocks_.push_back(fresh);
+    }
+    return Status::kOk;
   }
   InstallDataBlock(logical, fresh, present, dirty);
   return Status::kOk;
@@ -699,23 +921,46 @@ Status SscDevice::ForwardCopyLogBlock(PhysBlock victim) {
     uint64_t* packed = page_map_.Find(lbn);
     assert(packed != nullptr && PackedPpn(*packed) == base + i);
     const bool dirty = PackedDirty(*packed);
-    // Destination: the active log block, growing the log as needed.
-    if (log_blocks_.empty() || device_->BlockFull(log_blocks_.back())) {
-      PhysBlock fresh = allocator_->Allocate();
-      while (fresh == kInvalidBlock) {
-        if (!ReclaimDeadBlock() && !CollectFullestPlane()) {
-          return Status::kNoSpace;
-        }
-        fresh = allocator_->Allocate();
+    // Destination: the active log block, growing the log as needed. A
+    // program abort poisons the frontier block, so retry on a fresh one.
+    Status cs = Status::kIoError;
+    Ppn dst = kInvalidPpn;
+    for (uint32_t attempt = 0; cs == Status::kIoError && attempt <= config_.program_retry_limit;
+         ++attempt) {
+      if (attempt > 0) {
+        ++ftl_stats_.program_retries;
       }
-      log_blocks_.push_back(fresh);
-      log_contents_[fresh].clear();
+      if (log_blocks_.empty() || device_->BlockFull(log_blocks_.back()) ||
+          device_->BlockProgramFailed(log_blocks_.back())) {
+        PhysBlock fresh = allocator_->Allocate();
+        while (fresh == kInvalidBlock) {
+          if (!ReclaimDeadBlock() && !CollectFullestPlane()) {
+            return Status::kNoSpace;
+          }
+          fresh = allocator_->Allocate();
+        }
+        log_blocks_.push_back(fresh);
+        log_contents_[fresh].clear();
+      }
+      cs = device_->CopyPage(base + i, log_blocks_.back(), &dst);
+    }
+    if (cs == Status::kCorrupt) {
+      // Unreadable source: the page cannot move forward; drop it. Report the
+      // loss before the remove record — its append can crash-commit the
+      // removal.
+      NoteLoss(lbn, dirty);
+      device_->MarkInvalid(base + i);
+      RetireLogPage(lbn);
+      --cached_pages_;
+      if (dirty) {
+        --dirty_pages_;
+      }
+      continue;
+    }
+    if (!IsOk(cs)) {
+      return cs;
     }
     const PhysBlock active = log_blocks_.back();
-    Ppn dst = kInvalidPpn;
-    if (Status s = device_->CopyPage(base + i, active, &dst); !IsOk(s)) {
-      return s;
-    }
     page_map_.Insert(lbn, Pack(dst, dirty));
     log_contents_[active].push_back(lbn);
     LogRecord rec;
@@ -728,9 +973,7 @@ Status SscDevice::ForwardCopyLogBlock(PhysBlock victim) {
   }
   log_contents_.erase(victim);
   persist_->Flush();
-  device_->EraseBlock(victim);
-  allocator_->Free(victim);
-  persist_->NotifyEraseBarrier();
+  EraseOrRetire(victim);
   return Status::kOk;
 }
 
@@ -755,9 +998,10 @@ Status SscDevice::MergeOldestLogBlock() {
       log_blocks_.size() < LogBlockLimit() &&
       device_->valid_pages(victim) <= device_->geometry().pages_per_block / 2) {
     const Status s = ForwardCopyLogBlock(victim);
-    if (s == Status::kNoSpace) {
-      // Could not place the remaining live pages; the victim is still a
-      // consistent log block (uncopied pages stay page-mapped into it).
+    if (!IsOk(s)) {
+      // Could not place the remaining live pages (no space, or the medium
+      // kept rejecting programs); the victim is still a consistent log block
+      // (uncopied pages stay page-mapped into it).
       log_blocks_.push_front(victim);
     }
     return s;
@@ -792,12 +1036,16 @@ Status SscDevice::MergeOldestLogBlock() {
     ++ftl_stats_.full_merges;
   }
 
-  assert(device_->valid_pages(victim) == 0);
+  if (device_->valid_pages(victim) != 0) {
+    // A degraded merge (destination program failures) left some of the
+    // victim's pages page-mapped in place. The victim is still a consistent
+    // log block; put it back rather than orphaning live pages.
+    log_blocks_.push_front(victim);
+    return Status::kOk;
+  }
   log_contents_.erase(victim);
   persist_->Flush();
-  device_->EraseBlock(victim);
-  allocator_->Free(victim);
-  persist_->NotifyEraseBarrier();
+  EraseOrRetire(victim);
   return Status::kOk;
 }
 
@@ -934,7 +1182,18 @@ Status SscDevice::Recover() {
       want = it->second;
     }
     if (want == 0) {
-      if (device_->BlockErased(b)) {
+      if (device_->BlockBad(b)) {
+        // Bad blocks are sticky medium state: re-retire without recounting
+        // (the failure was counted when the erase first failed). Mappings
+        // never reference them — removals are flushed before any erase.
+        // With retirement deliberately broken, keep mis-freeing them so the
+        // invariant checker can prove it notices.
+        if (config_.break_retirement_for_testing) {
+          allocator_->Free(b);
+        } else {
+          allocator_->Retire(b);
+        }
+      } else if (device_->BlockErased(b)) {
         allocator_->Free(b);
       } else {
         dead_blocks_.push_back(b);

@@ -72,6 +72,17 @@ struct SscConfig {
   uint32_t gc_victims_per_cycle = 4;  // top-k victim blocks per collection
   FlashTimings timings;
   FlashGeometry geometry;  // plane layout template; plane size scales to fit
+
+  // Fault injection (DESIGN.md §5d): forwarded to the FlashDevice. Disabled
+  // by default, so ordinary configurations are unaffected.
+  FaultPlan fault_plan;
+  // How many times a host write that hit a program failure is retried on a
+  // freshly allocated log block before reporting kIoError.
+  uint32_t program_retry_limit = 4;
+  // Self-test knob (flashcheck --break-retry): return erase-failed blocks to
+  // the free pool instead of retiring them, so the invariant checker's
+  // partition audit provably detects the broken bad-block management.
+  bool break_retirement_for_testing = false;
 };
 
 class SscDevice {
@@ -164,6 +175,9 @@ class SscDevice {
   const FlashStats& flash_stats() const { return device_->stats(); }
   const PersistStats& persist_stats() const { return persist_->stats(); }
   const FlashDevice& device() const { return *device_; }
+  // Mutable medium access for test harnesses (e.g. pausing fault injection
+  // while a checker observes the device).
+  FlashDevice* device_for_testing() { return device_.get(); }
   uint64_t last_recovery_us() const { return persist_->stats().last_recovery_us; }
 
   double ExtraWritesPerBlock() const {
@@ -192,6 +206,13 @@ class SscDevice {
   // checkpoint interleaving a workload produces is audited in place.
   using AuditHook = std::function<void(const SscDevice&)>;
   void set_audit_hook(AuditHook hook) { audit_hook_ = std::move(hook); }
+
+  // Invoked with the LBN whenever a *dirty* cached page is lost to a medium
+  // error (uncorrectable read, or a merge that could not relocate it). The
+  // crash explorer uses this to distinguish accounted data loss from silent
+  // corruption; cache managers surface the same event in ManagerStats.
+  using DataLossHook = std::function<void(Lbn)>;
+  void set_data_loss_hook(DataLossHook hook) { data_loss_hook_ = std::move(hook); }
 
   // The crash explorer installs its commit-point hook directly on the
   // persistence manager and flips its broken-recovery flag through this.
@@ -227,6 +248,19 @@ class SscDevice {
   // first) and returns it to the allocator. False if the queue is empty.
   bool ReclaimDeadBlock();
   uint32_t LogBlockLimit() const;
+
+  // Erases `block` and returns it to the free pool; on erase failure the
+  // block is retired as bad (never allocated again). Callers must have
+  // flushed the mapping removals that made the block reclaimable.
+  void EraseOrRetire(PhysBlock block);
+  // Stats + data-loss hook for a page lost to a medium error. Does not touch
+  // cached/dirty counters — callers adjust those through the path that
+  // removed the mapping.
+  void NoteLoss(Lbn lbn, bool dirty);
+  // Host read hit an uncorrectable page: drop the mapping (the cached copy is
+  // gone) and translate to the host-visible outcome — kNotPresent for clean
+  // pages (just a miss), kIoError for dirty ones (data loss).
+  Status DropCorruptPage(Lbn lbn);
 
   // One garbage-collection cycle on the fullest plane. Prefers silent
   // eviction of clean data blocks; falls back to copying GC. Returns true if
@@ -281,6 +315,7 @@ class SscDevice {
   FtlStats ftl_stats_;
 
   AuditHook audit_hook_;
+  DataLossHook data_loss_hook_;
   uint64_t last_audited_gc_ = 0;
   uint64_t last_audited_checkpoints_ = 0;
 };

@@ -21,7 +21,8 @@ SsdFtl::SsdFtl(uint64_t logical_pages, SimClock* clock, const Options& options)
   const uint64_t physical_blocks = logical_blocks_ + max_log_blocks_ + kSpareBlocks;
   FlashGeometry geometry =
       FlashGeometry::ForCapacity(physical_blocks * probe.EraseBlockBytes(), probe);
-  device_ = std::make_unique<FlashDevice>(geometry, options.timings, clock);
+  device_ = std::make_unique<FlashDevice>(geometry, options.timings, clock,
+                                          /*store_data=*/false, options.fault_plan);
   allocator_ = std::make_unique<BlockAllocator>(*device_, /*reserved_blocks=*/0);
   block_map_.Reset(logical_blocks_, kInvalidBlock);
 }
@@ -58,14 +59,26 @@ Status SsdFtl::Write(uint64_t lpn, uint64_t token) {
   if (Status s = EnsureActiveLogBlock(); !IsOk(s)) {
     return s;
   }
-  InvalidateOldVersion(lpn);
-  const PhysBlock active = log_blocks_.back();
   OobRecord oob;
   oob.lbn = lpn;
   Ppn ppn = kInvalidPpn;
-  if (Status s = device_->ProgramPage(active, oob, token, nullptr, &ppn); !IsOk(s)) {
-    return s;
+  // Program before touching the mapping so a write the medium rejects leaves
+  // the old version readable. A program abort poisons the whole log block;
+  // retries move to a freshly opened one.
+  PhysBlock active = log_blocks_.back();
+  Status ps = device_->ProgramPage(active, oob, token, nullptr, &ppn);
+  for (uint32_t retry = 0; ps == Status::kIoError && retry < kProgramRetryLimit; ++retry) {
+    ++ftl_stats_.program_retries;
+    if (Status s = EnsureActiveLogBlock(); !IsOk(s)) {
+      return s;
+    }
+    active = log_blocks_.back();
+    ps = device_->ProgramPage(active, oob, token, nullptr, &ppn);
   }
+  if (!IsOk(ps)) {
+    return ps;
+  }
+  InvalidateOldVersion(lpn);
   log_map_[lpn] = ppn;
   log_contents_[active].push_back(lpn);
   return Status::kOk;
@@ -103,13 +116,26 @@ void SsdFtl::ReclaimIfDead(PhysBlock data_block, LogicalBlock logical) {
   // eagerly: live versions, if any, are all in the log.
   if (device_->valid_pages(data_block) == 0) {
     block_map_.Erase(logical);
-    device_->EraseBlock(data_block);
-    allocator_->Free(data_block);
+    EraseOrRetire(data_block);
+  }
+}
+
+void SsdFtl::EraseOrRetire(PhysBlock block) {
+  if (IsOk(device_->EraseBlock(block))) {
+    allocator_->Free(block);
+  } else {
+    allocator_->Retire(block);
+    ++ftl_stats_.retired_blocks;
   }
 }
 
 Status SsdFtl::EnsureFreeBlocks(uint32_t want) {
-  while (allocator_->FreeCount() < want) {
+  // Bounded: a degraded merge may return without freeing anything (it put a
+  // victim with unmovable pages back), so "merge until free" must not spin.
+  for (uint32_t attempt = 0; attempt < device_->geometry().TotalBlocks() + 4; ++attempt) {
+    if (allocator_->FreeCount() >= want) {
+      return Status::kOk;
+    }
     // The only way an SSD creates free space is by merging log blocks.
     if (log_blocks_.size() <= 1) {
       return Status::kNoSpace;
@@ -118,11 +144,12 @@ Status SsdFtl::EnsureFreeBlocks(uint32_t want) {
       return s;
     }
   }
-  return Status::kOk;
+  return Status::kNoSpace;
 }
 
 Status SsdFtl::EnsureActiveLogBlock() {
-  if (!log_blocks_.empty() && !device_->BlockFull(log_blocks_.back())) {
+  if (!log_blocks_.empty() && !device_->BlockFull(log_blocks_.back()) &&
+      !device_->BlockProgramFailed(log_blocks_.back())) {
     return Status::kOk;
   }
   if (log_blocks_.size() >= max_log_blocks_) {
@@ -179,7 +206,13 @@ bool SsdFtl::TrySwitchOrPartialMerge(PhysBlock victim) {
       } else if (old != nullptr) {
         const Ppn src = g.FirstPpnOf(*old) + off;
         if (device_->page_state(src) == PageState::kValid) {
-          copied = IsOk(device_->CopyPage(src, victim, nullptr));
+          const Status cs = device_->CopyPage(src, victim, nullptr);
+          copied = IsOk(cs);
+          if (cs == Status::kCorrupt || cs == Status::kIoError) {
+            // The only copy of this page cannot move into the merged block;
+            // it is dropped when the old data block is reclaimed below.
+            ++ftl_stats_.dropped_clean_pages;
+          }
         }
       }
       if (!copied) {
@@ -206,8 +239,7 @@ bool SsdFtl::TrySwitchOrPartialMerge(PhysBlock victim) {
       }
     }
     block_map_.Erase(logical);
-    device_->EraseBlock(old_block);
-    allocator_->Free(old_block);
+    EraseOrRetire(old_block);
   }
   block_map_.Insert(logical, victim);
   return true;
@@ -222,11 +254,14 @@ Status SsdFtl::FullMergeLogicalBlock(LogicalBlock logical) {
   const PhysBlock* old_entry = block_map_.Find(logical);
   const PhysBlock old_block = old_entry != nullptr ? *old_entry : kInvalidBlock;
 
+  bool any_copied = false;
+  bool dst_failed = false;
   for (uint32_t off = 0; off < g.pages_per_block; ++off) {
     const uint64_t lpn = logical * g.pages_per_block + off;
     Ppn src = kInvalidPpn;
     const auto log_it = log_map_.find(lpn);
-    if (log_it != log_map_.end()) {
+    const bool from_log = log_it != log_map_.end();
+    if (from_log) {
       src = log_it->second;
     } else if (old_block != kInvalidBlock) {
       const Ppn candidate = g.FirstPpnOf(old_block) + off;
@@ -235,22 +270,61 @@ Status SsdFtl::FullMergeLogicalBlock(LogicalBlock logical) {
       }
     }
     if (src == kInvalidPpn) {
-      device_->SkipPage(fresh);
+      if (!dst_failed) {
+        device_->SkipPage(fresh);
+      }
+      continue;
+    }
+    if (dst_failed) {
+      // The destination stopped taking programs. Log-resident pages stay
+      // log-mapped; pages whose only copy is the old data block are lost
+      // with it (the SSD cannot know whether the host had backed them up).
+      if (!from_log) {
+        device_->MarkInvalid(src);
+        ++ftl_stats_.dropped_clean_pages;
+      }
       continue;
     }
     Ppn dst = kInvalidPpn;
-    if (Status s = device_->CopyPage(src, fresh, &dst); !IsOk(s)) {
-      return s;
+    const Status cs = device_->CopyPage(src, fresh, &dst);
+    if (cs == Status::kCorrupt) {
+      device_->MarkInvalid(src);
+      if (from_log) {
+        log_map_.erase(log_it);
+      }
+      ++ftl_stats_.dropped_clean_pages;
+      device_->SkipPage(fresh);
+      continue;
     }
-    if (log_it != log_map_.end()) {
+    if (cs == Status::kIoError) {
+      dst_failed = true;
+      if (!from_log) {
+        device_->MarkInvalid(src);
+        ++ftl_stats_.dropped_clean_pages;
+      }
+      continue;
+    }
+    if (!IsOk(cs)) {
+      return cs;
+    }
+    any_copied = true;
+    if (from_log) {
       log_map_.erase(log_it);
     }
   }
 
   if (old_block != kInvalidBlock) {
     assert(device_->valid_pages(old_block) == 0);
-    device_->EraseBlock(old_block);
-    allocator_->Free(old_block);
+    EraseOrRetire(old_block);
+  }
+  if (!any_copied) {
+    block_map_.Erase(logical);
+    if (device_->BlockErased(fresh) && !device_->BlockProgramFailed(fresh)) {
+      allocator_->Free(fresh);
+    } else {
+      EraseOrRetire(fresh);
+    }
+    return Status::kOk;
   }
   block_map_.Insert(logical, fresh);
   return Status::kOk;
@@ -295,10 +369,14 @@ Status SsdFtl::MergeOldestLogBlock() {
     ++ftl_stats_.full_merges;
   }
 
-  assert(device_->valid_pages(victim) == 0);
+  if (device_->valid_pages(victim) != 0) {
+    // A degraded merge (destination program failures) left live pages
+    // log-mapped in the victim; it is still a consistent log block.
+    log_blocks_.push_front(victim);
+    return Status::kOk;
+  }
   log_contents_.erase(victim);
-  device_->EraseBlock(victim);
-  allocator_->Free(victim);
+  EraseOrRetire(victim);
   return Status::kOk;
 }
 

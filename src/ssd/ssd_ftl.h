@@ -47,6 +47,7 @@ class SsdFtl {
     double log_fraction = 0.07;  // of logical capacity, as erase blocks
     FlashTimings timings;
     FlashGeometry geometry;  // plane layout template; plane size scales to fit
+    FaultPlan fault_plan;    // medium fault injection; disabled by default
   };
 
   SsdFtl(uint64_t logical_pages, SimClock* clock, const Options& options);
@@ -86,9 +87,12 @@ class SsdFtl {
 
  private:
   static constexpr uint32_t kSpareBlocks = 4;
+  static constexpr uint32_t kProgramRetryLimit = 4;
 
   Status EnsureFreeBlocks(uint32_t want);
   Status EnsureActiveLogBlock();
+  // Erases `block` and frees it; a failed erase retires it as bad instead.
+  void EraseOrRetire(PhysBlock block);
   // Removes the current newest version of lpn, wherever it lives.
   void InvalidateOldVersion(uint64_t lpn);
   void ReclaimIfDead(PhysBlock data_block, LogicalBlock logical);

@@ -39,6 +39,36 @@ double ArgParser::GetDouble(const std::string& name, double def) const {
   return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
 }
 
+int64_t ArgParser::GetPositiveInt(const std::string& name, int64_t def) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+  if (end == it->second.c_str() || *end != '\0' || v <= 0) {
+    ok_ = false;
+    error_ = "--" + name + " must be a positive integer, got: " + it->second;
+    return def;
+  }
+  return v;
+}
+
+double ArgParser::GetPositiveDouble(const std::string& name, double def) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0' || v <= 0.0) {
+    ok_ = false;
+    error_ = "--" + name + " must be a positive number, got: " + it->second;
+    return def;
+  }
+  return v;
+}
+
 bool ArgParser::GetBool(const std::string& name, bool def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) {

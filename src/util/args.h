@@ -27,6 +27,13 @@ class ArgParser {
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;
 
+  // Validated variants for sizes and counts: a supplied value that is zero,
+  // negative, or not a number marks the parser failed (ok() turns false and
+  // error() explains which flag; the moral equivalent of kInvalidArgument).
+  // An absent flag still returns `def` unchecked.
+  int64_t GetPositiveInt(const std::string& name, int64_t def);
+  double GetPositiveDouble(const std::string& name, double def);
+
  private:
   std::map<std::string, std::string> values_;
   bool ok_ = true;

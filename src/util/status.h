@@ -27,8 +27,11 @@ enum class Status : uint8_t {
   // Persistent state failed validation (bad checksum, truncated log, ...).
   kCorrupt,
   // The simulated medium rejected the operation (e.g. programming a page of
-  // an unerased block).
+  // an unerased block, or an injected program/erase fault).
   kIoError,
+  // The device is operating but in a reduced mode (e.g. a cache manager that
+  // has tripped into pass-through after repeated write failures).
+  kDegraded,
 };
 
 constexpr bool IsOk(Status s) { return s == Status::kOk; }
@@ -47,6 +50,8 @@ constexpr std::string_view StatusName(Status s) {
       return "CORRUPT";
     case Status::kIoError:
       return "IO_ERROR";
+    case Status::kDegraded:
+      return "DEGRADED";
   }
   return "UNKNOWN";
 }

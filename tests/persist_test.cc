@@ -211,26 +211,26 @@ TEST(PersistTest, RelaxedCleanCrashWithPartialGroupCommitBufferLosesOnlyBuffer) 
 }
 
 TEST(PersistTest, CheckpointRatioBoundaryIsStrict) {
-  // With a 0.5 ratio and an 82-entry checkpoint (82 * 33 B = 2706 B), a log
-  // of 33 records (33 * 41 B = 1353 B) sits *exactly* at ratio * ckpt bytes.
-  // The policy uses a strict comparison, so the boundary itself must not
-  // trigger; the 34th record must.
+  // With a 0.5 ratio and a 30-entry checkpoint (30 * 33 B = 990 B), a log of
+  // 11 records (11 * 45 B = 495 B) sits *exactly* at ratio * ckpt bytes. The
+  // policy uses a strict comparison, so the boundary itself must not trigger;
+  // the 12th record must.
   SimClock clock;
   PersistenceManager::Options opts = SmallOptions();
   opts.checkpoint_log_ratio = 0.5;
   PersistenceManager pm(opts, FlashTimings{}, &clock);
-  pm.WriteCheckpoint(std::vector<CheckpointEntry>(82));
+  pm.WriteCheckpoint(std::vector<CheckpointEntry>(30));
   int snapshots_taken = 0;
   const auto snapshot = [&snapshots_taken] {
     ++snapshots_taken;
-    return std::vector<CheckpointEntry>(82);
+    return std::vector<CheckpointEntry>(30);
   };
-  for (int i = 0; i < 33; ++i) {
+  for (int i = 0; i < 11; ++i) {
     pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/true);
     pm.MaybeCheckpoint(snapshot);
   }
   EXPECT_EQ(snapshots_taken, 0);  // exactly at the boundary: no checkpoint
-  pm.Append(MakeRecord(pm.NextLsn(), 33), /*sync=*/true);
+  pm.Append(MakeRecord(pm.NextLsn(), 11), /*sync=*/true);
   pm.MaybeCheckpoint(snapshot);
   EXPECT_EQ(snapshots_taken, 1);  // one byte past: checkpoint
 }

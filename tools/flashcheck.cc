@@ -16,10 +16,21 @@
 //              [--group-commit-ops=16] [--checkpoint-interval=250]
 //              [--seed=42] [--stride=1] [--max-points=0] [--verbose=false]
 //              [--break-recovery=false] [--no-invariants=false]
+//              [--faults] [--fault-seed=1] [--program-fail=0.01]
+//              [--erase-fail=0.05] [--read-corrupt=0.005] [--wear-limit=0]
+//              [--break-retry=false]
 //
 // --break-recovery flips a test hook that makes recovery skip log-tail
 // replay; the checker must then report violations (a self-test that the
 // harness can actually detect a broken recovery path).
+//
+// --faults arms deterministic medium fault injection (seeded by
+// --fault-seed) in every trial, composing program/erase/read faults with
+// the crash points. Dirty data destroyed by a fault is excused via the
+// SSC's data-loss reporting; everything else must still hold G1–G3.
+// --break-retry disables bad-block retirement so injected erase failures
+// leak non-erased blocks into the free list; the invariant checker must
+// then report violations (a self-test that faults are actually detected).
 
 #include <cstdio>
 #include <string>
@@ -50,6 +61,18 @@ int main(int argc, char** argv) {
   options.break_recovery = args.GetBool("break-recovery", false);
   options.run_invariant_checker = !args.GetBool("no-invariants", false);
   options.verbose = args.GetBool("verbose", false);
+
+  options.faults.enabled = args.GetBool("faults", false);
+  options.faults.seed = static_cast<uint64_t>(args.GetInt("fault-seed", 1));
+  options.faults.program_fail_prob = args.GetDouble("program-fail", 0.01);
+  options.faults.erase_fail_prob = args.GetDouble("erase-fail", 0.05);
+  options.faults.read_corrupt_prob = args.GetDouble("read-corrupt", 0.005);
+  options.faults.wear_out_erases = static_cast<uint32_t>(args.GetInt("wear-limit", 0));
+  options.break_retirement = args.GetBool("break-retry", false);
+  if (options.break_retirement && !options.faults.enabled) {
+    std::fprintf(stderr, "flashcheck: --break-retry requires --faults\n");
+    return 2;
+  }
 
   const std::string policy = args.GetString("policy", "se-util");
   if (policy == "se-util") {
@@ -82,6 +105,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("flashcheck: OK: broken recovery detected as expected\n");
+    return 0;
+  }
+  if (options.break_retirement) {
+    // Self-test mode: with retirement disabled, injected erase failures put
+    // non-erased blocks back on the free list — the checker MUST notice.
+    if (report.ok()) {
+      std::printf("flashcheck: FAIL: broken bad-block retirement went undetected\n");
+      return 1;
+    }
+    std::printf("flashcheck: OK: broken bad-block retirement detected as expected\n");
     return 0;
   }
   return report.ok() ? 0 : 1;

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
 
   WorkloadProfile profile;
   const std::string name = args.GetString("workload", "");
-  const double scale = args.GetDouble("scale", 0.1);
+  const double scale = args.GetPositiveDouble("scale", 0.1);
   if (name == "homes") {
     profile = HomesProfile(scale);
   } else if (name == "mail") {
@@ -43,14 +43,25 @@ int main(int argc, char** argv) {
     profile = ProjProfile(scale);
   } else if (name.empty()) {
     profile.name = "custom";
-    profile.range_blocks = args.GetInt("range-gb", 64) * ((1ull << 30) / 4096);
-    profile.unique_blocks = args.GetInt("unique", 200'000);
+    profile.range_blocks =
+        static_cast<uint64_t>(args.GetPositiveInt("range-gb", 64)) * ((1ull << 30) / 4096);
+    profile.unique_blocks = static_cast<uint64_t>(args.GetPositiveInt("unique", 200'000));
     profile.full_unique_blocks = profile.unique_blocks;
-    profile.total_ops = args.GetInt("ops", 1'000'000);
+    profile.total_ops = static_cast<uint64_t>(args.GetPositiveInt("ops", 1'000'000));
     profile.write_fraction = args.GetDouble("writes", 0.5);
     profile.seed = args.GetInt("seed", 42);
   } else {
     std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+    return 1;
+  }
+  if (!args.ok()) {
+    // A zero or negative size would make the generator spin forever or emit
+    // an empty trace; fail loudly instead (INVALID_ARGUMENT).
+    std::fprintf(stderr,
+                 "error: %s\n"
+                 "usage: trace_gen --out=FILE [--workload=homes|mail|usr|proj "
+                 "--scale=F] | [--range-gb=N --unique=N --ops=N --writes=F --seed=N]\n",
+                 args.error().c_str());
     return 1;
   }
 
