@@ -7,11 +7,16 @@
 //   --verify      enable the stale-read oracle during replay (slower)
 //   --stats-json=FILE  append one JSON object per (workload, system) run with
 //                      the manager / FTL / persistence / fault counters
+//   --threads=<n>  replay worker threads (sharded systems only)
+//   --shards=<n>   independent channel shards; defaults to 8 when --threads
+//                  is given (so results are comparable across thread counts)
+//                  and 1 otherwise
 
 #ifndef FLASHTIER_BENCH_BENCH_COMMON_H_
 #define FLASHTIER_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -23,9 +28,14 @@
 
 namespace flashtier::bench {
 
+inline bool KnownWorkload(const std::string& name) {
+  return name == "homes" || name == "mail" || name == "usr" || name == "proj";
+}
+
 // Default downscaling per workload: chosen so a full bench finishes in
 // minutes on one core while preserving each trace's structure (see
-// EXPERIMENTS.md). Paper-replayed sizes are scale = 1.0.
+// EXPERIMENTS.md). Paper-replayed sizes are scale = 1.0. Unknown names are
+// fatal — a typo must not silently run the proj defaults.
 inline double DefaultScale(const std::string& name) {
   if (name == "homes") {
     return 0.10;  // 1.78 M ops
@@ -36,12 +46,21 @@ inline double DefaultScale(const std::string& name) {
   if (name == "usr") {
     return 0.012;  // 1.2 M ops
   }
-  return 0.012;  // proj: 1.2 M ops
+  if (name == "proj") {
+    return 0.012;  // 1.2 M ops
+  }
+  std::fprintf(stderr, "unknown workload '%s' (valid: homes, mail, usr, proj)\n", name.c_str());
+  std::exit(2);
 }
 
 inline std::vector<WorkloadProfile> BenchProfiles(const ArgParser& args) {
   const double factor = args.GetDouble("scale", 1.0);
   const std::string only = args.GetString("workload", "");
+  if (!only.empty() && !KnownWorkload(only)) {
+    std::fprintf(stderr, "unknown --workload '%s' (valid: homes, mail, usr, proj)\n",
+                 only.c_str());
+    std::exit(2);
+  }
   std::vector<WorkloadProfile> out;
   for (const char* profile : {"homes", "mail", "usr", "proj"}) {
     const std::string name = profile;
@@ -85,6 +104,29 @@ inline void PrintHeader(const char* title) {
   std::printf("==============================================================\n");
 }
 
+// --threads / --shards. The shard count — not the thread count — is what
+// changes system behaviour, so when --threads is given without an explicit
+// --shards the shard count defaults to 8: `--threads=1` and `--threads=8`
+// then replay the *same* 8-shard system and their virtual-time metrics must
+// match bit for bit (only wall_clock_us may differ). Plain runs (neither
+// flag) keep the classic single-shard system.
+struct ParallelFlags {
+  uint32_t threads = 1;
+  uint32_t shards = 1;
+};
+
+inline ParallelFlags GetParallelFlags(ArgParser& args) {
+  ParallelFlags flags;
+  const uint32_t default_shards = args.Has("threads") ? 8 : 1;
+  flags.shards = static_cast<uint32_t>(args.GetPositiveInt("shards", default_shards));
+  flags.threads = static_cast<uint32_t>(args.GetPositiveInt("threads", 1));
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    std::exit(2);
+  }
+  return flags;
+}
+
 struct RunResult {
   ReplayMetrics metrics;
   double iops = 0.0;
@@ -96,11 +138,12 @@ struct RunResult {
 // needs device statistics.
 inline RunResult ReplayWorkload(const WorkloadProfile& profile, const SystemConfig& config,
                                 FlashTierSystem* system, double warmup_fraction = 0.15,
-                                bool verify = false) {
+                                bool verify = false, uint32_t threads = 1) {
   SyntheticWorkload workload(profile);
   ReplayEngine::Options opts;
   opts.warmup_fraction = warmup_fraction;
   opts.verify = verify;
+  opts.threads = threads;
   ReplayEngine engine(system, opts);
   RunResult result;
   result.metrics = engine.Run(workload);
@@ -128,12 +171,17 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
     std::fprintf(stderr, "warning: cannot open %s for stats dump\n", path.c_str());
     return;
   }
-  const ManagerStats& m = system->manager().stats();
+  // Counters are summed across shards so the JSON is shard-count agnostic;
+  // the shard/thread configuration and wall-clock throughput ride along so a
+  // sweep can plot scaling without re-parsing the command line.
+  const ManagerStats m = system->AggregateManagerStats();
   std::fprintf(f,
                "{\"bench\":\"%s\",\"workload\":\"%s\",\"system\":\"%s\","
                "\"iops\":%.1f,\"mean_response_us\":%.2f,"
                "\"requests\":%llu,\"stale_reads\":%llu,\"failed_requests\":%llu,"
                "\"read_errors\":%llu,"
+               "\"threads\":%u,\"shards\":%u,\"wall_clock_us\":%llu,"
+               "\"replay_ops_per_sec\":%.1f,"
                "\"manager\":{\"read_hits\":%llu,\"read_misses\":%llu,\"writebacks\":%llu,"
                "\"evicts\":%llu,\"read_errors\":%llu,\"lost_dirty\":%llu,"
                "\"degraded_entries\":%llu,\"pass_through_writes\":%llu}",
@@ -142,46 +190,43 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
                (unsigned long long)result.metrics.stale_reads,
                (unsigned long long)result.metrics.failed_requests,
                (unsigned long long)result.metrics.read_errors,
+               result.metrics.threads, result.metrics.shards,
+               (unsigned long long)result.metrics.wall_clock_us,
+               result.metrics.ReplayOpsPerSec(),
                (unsigned long long)m.read_hits, (unsigned long long)m.read_misses,
                (unsigned long long)m.writebacks, (unsigned long long)m.evicts,
                (unsigned long long)m.read_errors, (unsigned long long)m.lost_dirty,
                (unsigned long long)m.degraded_entries,
                (unsigned long long)m.pass_through_writes);
-  const FtlStats* ftl = nullptr;
-  const FaultStats* faults = nullptr;
+  const bool has_device = system->ssc() != nullptr || system->ssd() != nullptr;
   if (system->ssc() != nullptr) {
-    ftl = &system->ssc()->ftl_stats();
-    faults = &system->ssc()->device().fault_stats();
-    const PersistStats& p = system->ssc()->persist_stats();
+    const PersistStats p = system->AggregatePersistStats();
     std::fprintf(f,
                  ",\"persist\":{\"records_logged\":%llu,\"checkpoints\":%llu,"
                  "\"corrupt_records_skipped\":%llu,\"checkpoint_fallbacks\":%llu}",
                  (unsigned long long)p.records_logged, (unsigned long long)p.checkpoints,
                  (unsigned long long)p.corrupt_records_skipped,
                  (unsigned long long)p.checkpoint_fallbacks);
-  } else if (system->ssd() != nullptr) {
-    ftl = &system->ssd()->ftl_stats();
-    faults = &system->ssd()->device().fault_stats();
   }
-  if (ftl != nullptr) {
+  if (has_device) {
+    const FtlStats ftl = system->AggregateFtlStats();
+    const FaultStats faults = system->AggregateFaultStats();
     std::fprintf(f,
                  ",\"ftl\":{\"gc_invocations\":%llu,\"program_retries\":%llu,"
                  "\"retired_blocks\":%llu,\"dropped_clean_pages\":%llu,"
                  "\"lost_dirty_pages\":%llu}",
-                 (unsigned long long)ftl->gc_invocations,
-                 (unsigned long long)ftl->program_retries,
-                 (unsigned long long)ftl->retired_blocks,
-                 (unsigned long long)ftl->dropped_clean_pages,
-                 (unsigned long long)ftl->lost_dirty_pages);
-  }
-  if (faults != nullptr) {
+                 (unsigned long long)ftl.gc_invocations,
+                 (unsigned long long)ftl.program_retries,
+                 (unsigned long long)ftl.retired_blocks,
+                 (unsigned long long)ftl.dropped_clean_pages,
+                 (unsigned long long)ftl.lost_dirty_pages);
     std::fprintf(f,
                  ",\"faults\":{\"program_failures\":%llu,\"erase_failures\":%llu,"
                  "\"read_corruptions\":%llu,\"crc_mismatches\":%llu}",
-                 (unsigned long long)faults->program_failures,
-                 (unsigned long long)faults->erase_failures,
-                 (unsigned long long)faults->read_corruptions,
-                 (unsigned long long)faults->crc_mismatches);
+                 (unsigned long long)faults.program_failures,
+                 (unsigned long long)faults.erase_failures,
+                 (unsigned long long)faults.read_corruptions,
+                 (unsigned long long)faults.crc_mismatches);
   }
   std::fprintf(f, "}\n");
   std::fclose(f);

@@ -21,7 +21,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return 1;
   }
+  const ParallelFlags parallel = GetParallelFlags(args);
+  const std::vector<WorkloadProfile> profiles = BenchProfiles(args);
   PrintHeader("Figure 3: application performance, % of native write-back IOPS");
+  if (parallel.shards > 1 || parallel.threads > 1) {
+    std::printf("parallel replay: %u shards, %u threads\n", parallel.shards, parallel.threads);
+  }
   const SystemType systems[] = {SystemType::kNativeWriteBack, SystemType::kSscWriteThrough,
                                 SystemType::kSscRWriteThrough, SystemType::kSscWriteBack,
                                 SystemType::kSscRWriteBack};
@@ -31,7 +36,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  for (const WorkloadProfile& profile : BenchProfiles(args)) {
+  for (const WorkloadProfile& profile : profiles) {
     double native_iops = 0.0;
     std::printf("%-8s", profile.name.c_str());
     std::fflush(stdout);
@@ -41,9 +46,10 @@ int Main(int argc, char** argv) {
       config.type = type;
       config.cache_pages = CachePagesFor(profile);
       config.consistency = ConsistencyMode::kFull;
+      config.shards = parallel.shards;
       FlashTierSystem system(config);
-      const RunResult r =
-          ReplayWorkload(profile, config, &system, 0.15, args.GetBool("verify", false));
+      const RunResult r = ReplayWorkload(profile, config, &system, 0.15,
+                                         args.GetBool("verify", false), parallel.threads);
       AppendStatsJson(args.GetString("stats-json", ""), "fig3", profile, config, &system, r);
       if (type == SystemType::kNativeWriteBack) {
         native_iops = r.iops;

@@ -33,6 +33,23 @@ struct ManagerStats {
   uint64_t degraded_entries = 0;    // times the manager tripped into pass-through
   uint64_t pass_through_writes = 0; // writes served by disk because the cache failed
 
+  // Accumulates another manager's counters (used to aggregate the per-shard
+  // managers of a sharded system into one host-visible view).
+  void Merge(const ManagerStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    read_hits += o.read_hits;
+    read_misses += o.read_misses;
+    writebacks += o.writebacks;
+    cleans += o.cleans;
+    evicts += o.evicts;
+    metadata_writes += o.metadata_writes;
+    read_errors += o.read_errors;
+    lost_dirty += o.lost_dirty;
+    degraded_entries += o.degraded_entries;
+    pass_through_writes += o.pass_through_writes;
+  }
+
   double HitRate() const {
     const uint64_t lookups = read_hits + read_misses;
     return lookups == 0 ? 0.0 : static_cast<double>(read_hits) / static_cast<double>(lookups);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <unordered_set>
 
 #include "src/check/invariant_checker.h"
@@ -103,7 +104,22 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
                                                  uint64_t crash_point, uint64_t* points_out,
                                                  FaultStats* faults_out) {
   SimClock clock;
-  SscDevice ssc(DeviceConfig(), &clock);
+  // One device per shard (one device total in the default configuration),
+  // all sharing the virtual clock. The scripted workload runs sequentially,
+  // so sharded exploration stays fully deterministic: commit points are
+  // counted globally in execution order across every shard's persistence
+  // manager.
+  const uint32_t shard_count = std::max<uint32_t>(1, options_.shards);
+  const ShardRouter router{shard_count, /*grain_pages=*/64};
+  std::vector<std::unique_ptr<SscDevice>> sscs;
+  sscs.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    SscConfig config = DeviceConfig();
+    config.capacity_pages = options_.capacity_pages / shard_count +
+                            (i < options_.capacity_pages % shard_count ? 1 : 0);
+    sscs.push_back(std::make_unique<SscDevice>(config, &clock));
+  }
+  const auto dev = [&](Lbn lbn) -> SscDevice& { return *sscs[router.ShardOf(lbn)]; };
   std::vector<ShadowEntry> shadow(options_.address_blocks);
   std::vector<std::string> violations;
 
@@ -112,21 +128,23 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
   // lbns may legitimately be missing (or error) afterwards, but must still
   // never surface stale tokens.
   std::unordered_set<Lbn> lost;
-  ssc.set_data_loss_hook([&lost](Lbn lbn) { lost.insert(lbn); });
   const bool faults_on = options_.faults.enabled;
 
   uint64_t points = 0;
   const bool trace = options_.verbose && crash_point == ~uint64_t{0};
-  ssc.persist_for_testing()->set_commit_point_hook_for_testing(
-      [&points, crash_point, trace](CommitPoint p) {
-        if (trace) {
-          std::fprintf(stderr, "flashcheck: point %llu = %s\n", (unsigned long long)points,
-                       CommitPointName(p));
-        }
-        if (points++ == crash_point) {
-          throw CrashInjected{};
-        }
-      });
+  for (auto& ssc : sscs) {
+    ssc->set_data_loss_hook([&lost](Lbn lbn) { lost.insert(lbn); });
+    ssc->persist_for_testing()->set_commit_point_hook_for_testing(
+        [&points, crash_point, trace](CommitPoint p) {
+          if (trace) {
+            std::fprintf(stderr, "flashcheck: point %llu = %s\n", (unsigned long long)points,
+                         CommitPointName(p));
+          }
+          if (points++ == crash_point) {
+            throw CrashInjected{};
+          }
+        });
+  }
 
   bool crashed = false;
   size_t in_flight = script.size();
@@ -138,22 +156,24 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     try {
       switch (op.kind) {
         case OpKind::kWriteDirty:
-          s = ssc.WriteDirty(op.lbn, op.token);
+          s = dev(op.lbn).WriteDirty(op.lbn, op.token);
           break;
         case OpKind::kWriteClean:
-          s = ssc.WriteClean(op.lbn, op.token);
+          s = dev(op.lbn).WriteClean(op.lbn, op.token);
           break;
         case OpKind::kRead:
-          s = ssc.Read(op.lbn, &read_token);
+          s = dev(op.lbn).Read(op.lbn, &read_token);
           break;
         case OpKind::kClean:
-          s = ssc.Clean(op.lbn);
+          s = dev(op.lbn).Clean(op.lbn);
           break;
         case OpKind::kEvict:
-          s = ssc.Evict(op.lbn);
+          s = dev(op.lbn).Evict(op.lbn);
           break;
         case OpKind::kCollect:
-          ssc.BackgroundCollect(/*budget_us=*/20'000);
+          for (auto& ssc : sscs) {
+            ssc->BackgroundCollect(/*budget_us=*/20'000);
+          }
           break;
       }
     } catch (const CrashInjected&) {
@@ -243,7 +263,9 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     }
   }
 
-  ssc.persist_for_testing()->set_commit_point_hook_for_testing(nullptr);
+  for (auto& ssc : sscs) {
+    ssc->persist_for_testing()->set_commit_point_hook_for_testing(nullptr);
+  }
   if (points_out != nullptr) {
     *points_out = points;
   }
@@ -254,14 +276,20 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
   // state — e.g. a verification read must not corrupt the page it verifies.
   // Sticky fault state (bad blocks, pages already corrupted by the workload)
   // remains in force and recovery must still handle it correctly.
-  ssc.device_for_testing()->set_fault_injection_paused(true);
+  std::vector<const SscDevice*> shard_views;
+  shard_views.reserve(sscs.size());
+  for (auto& ssc : sscs) {
+    ssc->device_for_testing()->set_fault_injection_paused(true);
+    shard_views.push_back(ssc.get());
+  }
 
   // When the script ran to completion the live (pre-crash) state must also
   // be structurally sound — this is what catches fault-handling bugs that a
   // crash would mask, e.g. a failed erase whose block went back to the free
-  // list (the --break-retry self-test).
+  // list (the --break-retry self-test). Sharded runs additionally audit
+  // partition disjointness across the shards.
   if (options_.run_invariant_checker && !crashed) {
-    const CheckReport live = InvariantChecker::Check(ssc);
+    const CheckReport live = InvariantChecker::CheckSharded(shard_views, router);
     for (const InvariantViolation& v : live.violations) {
       violations.push_back("live-state invariant [" + v.invariant + "] " + v.detail);
     }
@@ -269,14 +297,18 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
 
   // Power failure (also applied when the script ran to completion: a crash
   // at quiescence must preserve every acknowledged operation), then recover.
-  if (options_.break_recovery) {
-    ssc.persist_for_testing()->set_skip_log_tail_replay_for_testing(true);
+  // Power loss is global: every shard crashes at the same instant and every
+  // shard recovers before the shadow sweep.
+  for (auto& ssc : sscs) {
+    if (options_.break_recovery) {
+      ssc->persist_for_testing()->set_skip_log_tail_replay_for_testing(true);
+    }
+    ssc->SimulateCrash();
+    ssc->Recover();
   }
-  ssc.SimulateCrash();
-  ssc.Recover();
 
   if (options_.run_invariant_checker) {
-    const CheckReport structural = InvariantChecker::Check(ssc);
+    const CheckReport structural = InvariantChecker::CheckSharded(shard_views, router);
     for (const InvariantViolation& v : structural.violations) {
       violations.push_back("post-recovery invariant [" + v.invariant + "] " + v.detail);
     }
@@ -344,7 +376,7 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     }
 
     uint64_t token = 0;
-    const Status s = ssc.Read(lbn, &token);
+    const Status s = dev(lbn).Read(lbn, &token);
     if (s == Status::kNotPresent) {
       if (!allow_not_present) {
         violations.push_back(FmtViolation(
@@ -374,7 +406,7 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     }
     if (require_dirty) {
       Bitmap dirty_map;
-      ssc.Exists(lbn, 1, &dirty_map);
+      dev(lbn).Exists(lbn, 1, &dirty_map);
       if (!dirty_map.Test(0)) {
         violations.push_back(FmtViolation(
             "G1", lbn, "acknowledged dirty block recovered clean (could be silently lost)"));
@@ -382,7 +414,10 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     }
   }
   if (faults_out != nullptr) {
-    *faults_out = ssc.device().fault_stats();
+    *faults_out = FaultStats{};
+    for (const auto& ssc : sscs) {
+      faults_out->Merge(ssc->device().fault_stats());
+    }
   }
   return violations;
 }

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ssc/shard.h"
 #include "src/ssc/ssc_device.h"
 
 namespace flashtier {
@@ -42,6 +43,12 @@ namespace flashtier {
 struct CrashExplorerOptions {
   // Device under test. Small capacity forces frequent GC/merge activity.
   uint64_t capacity_pages = 512;
+  // Number of LBN-hash-partitioned SSC shards (capacity_pages is split
+  // across them). 1 — the default — explores the classic monolithic device;
+  // higher values compose every crash point with cross-shard state: a power
+  // failure hits all shards at once, recovery runs on each, and the
+  // partition-disjointness invariant is audited alongside G1–G3.
+  uint32_t shards = 1;
   EvictionPolicy policy = EvictionPolicy::kSeUtil;
   ConsistencyMode mode = ConsistencyMode::kFull;
   uint32_t group_commit_ops = 16;             // small batches: many flush points

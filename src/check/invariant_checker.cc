@@ -9,6 +9,7 @@
 
 #include "src/cache/write_back.h"
 #include "src/ssc/persist.h"
+#include "src/ssc/shard.h"
 #include "src/ssc/ssc_device.h"
 
 namespace flashtier {
@@ -424,6 +425,38 @@ CheckReport InvariantChecker::Check(const CacheManager& manager) {
   // Write-through and native managers keep no host-side cache metadata that
   // could disagree with the device.
   return CheckReport{};
+}
+
+CheckReport InvariantChecker::CheckSharded(const std::vector<const SscDevice*>& shards,
+                                           const ShardRouter& router) {
+  CheckReport report;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const SscDevice& ssc = *shards[i];
+    report.Merge(Check(ssc));
+
+    // Partition disjointness: every LBN this shard caches must route here.
+    // Because routing is a pure function of the LBN, this simultaneously
+    // proves no other shard can legally hold it — the slices are disjoint.
+    const uint32_t ppb = ssc.device_->geometry().pages_per_block;
+    const auto expect_here = [&](Lbn lbn, const char* where) {
+      ++report.checks_run;
+      const uint32_t owner = router.ShardOf(lbn);
+      if (owner != i) {
+        report.Add("shard.partition",
+                   Fmt("%s lbn %llu cached in shard %zu but routes to shard %u", where,
+                       (unsigned long long)lbn, i, owner));
+      }
+    };
+    ssc.page_map_.ForEach([&](Lbn lbn, uint64_t) { expect_here(lbn, "page-map"); });
+    ssc.block_map_.ForEach([&](uint64_t logical, const SscDevice::BlockEntry& e) {
+      for (uint32_t off = 0; off < ppb; ++off) {
+        if ((e.present_bits >> off) & 1u) {
+          expect_here(logical * ppb + off, "block-map");
+        }
+      }
+    });
+  }
+  return report;
 }
 
 }  // namespace flashtier

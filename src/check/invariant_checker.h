@@ -33,6 +33,7 @@ class CacheManager;
 class PersistenceManager;
 class SscDevice;
 class WriteBackManager;
+struct ShardRouter;
 
 struct InvariantViolation {
   std::string invariant;  // stable identifier, e.g. "page-map.oob-lbn"
@@ -74,6 +75,13 @@ class InvariantChecker {
   // Audits only the durability machinery: LSN monotonicity of the durable
   // log and the buffer, and checkpoint coverage.
   static CheckReport CheckPersistence(const PersistenceManager& pm);
+
+  // Audits a sharded SSC: every shard individually, plus the cross-shard
+  // partition invariant — each shard's maps may only hold LBNs the router
+  // assigns to it, so the shards' address-space slices are provably
+  // disjoint (no LBN can be cached, or go stale, in two places at once).
+  static CheckReport CheckSharded(const std::vector<const SscDevice*>& shards,
+                                  const ShardRouter& router);
 
  private:
   static CheckReport CheckSscOnly(const SscDevice& ssc);

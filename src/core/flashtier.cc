@@ -1,5 +1,7 @@
 #include "src/core/flashtier.h"
 
+#include <algorithm>
+
 namespace flashtier {
 
 std::string SystemTypeName(SystemType type) {
@@ -30,51 +32,131 @@ bool SystemIsWriteBack(SystemType type) {
 }
 
 FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
-  disk_ = std::make_unique<DiskModel>(config.disk, &clock_);
+  const uint32_t shard_count = std::max<uint32_t>(1, config.shards);
+  config_.shards = shard_count;
+  router_.shards = shard_count;
 
-  if (SystemUsesSsc(config.type)) {
-    SscConfig ssc_config;
-    ssc_config.capacity_pages = config.cache_pages;
-    ssc_config.policy = (config.type == SystemType::kSscRWriteThrough ||
-                         config.type == SystemType::kSscRWriteBack)
-                            ? EvictionPolicy::kSeMerge
-                            : EvictionPolicy::kSeUtil;
-    ssc_config.mode = config.consistency;
-    ssc_config.timings = config.timings;
-    ssc_ = std::make_unique<SscDevice>(ssc_config, &clock_);
+  // Split capacity evenly; the first `cache_pages % shards` shards absorb the
+  // remainder so no page of the configured capacity is dropped.
+  const uint64_t base_pages = config.cache_pages / shard_count;
+  const uint64_t extra = config.cache_pages % shard_count;
 
-    if (SystemIsWriteBack(config.type)) {
-      WriteBackManager::Options opts;
-      opts.dirty_threshold = config.dirty_threshold;
-      auto manager = std::make_unique<WriteBackManager>(ssc_.get(), disk_.get(), opts);
-      wb_manager_ = manager.get();
-      manager_ = std::move(manager);
+  shards_.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    const uint64_t pages = base_pages + (i < extra ? 1 : 0);
+    shard->disk = std::make_unique<DiskModel>(config.disk, &shard->clock);
+
+    if (SystemUsesSsc(config.type)) {
+      SscConfig ssc_config;
+      ssc_config.capacity_pages = pages;
+      ssc_config.policy = (config.type == SystemType::kSscRWriteThrough ||
+                           config.type == SystemType::kSscRWriteBack)
+                              ? EvictionPolicy::kSeMerge
+                              : EvictionPolicy::kSeUtil;
+      ssc_config.mode = config.consistency;
+      ssc_config.timings = config.timings;
+      shard->ssc = std::make_unique<SscDevice>(ssc_config, &shard->clock);
+
+      if (SystemIsWriteBack(config.type)) {
+        WriteBackManager::Options opts;
+        opts.dirty_threshold = config.dirty_threshold;
+        auto manager =
+            std::make_unique<WriteBackManager>(shard->ssc.get(), shard->disk.get(), opts);
+        shard->wb_manager = manager.get();
+        shard->manager = std::move(manager);
+      } else {
+        shard->manager =
+            std::make_unique<WriteThroughManager>(shard->ssc.get(), shard->disk.get());
+      }
     } else {
-      manager_ = std::make_unique<WriteThroughManager>(ssc_.get(), disk_.get());
+      SsdFtl::Options ssd_opts;
+      ssd_opts.timings = config.timings;
+      shard->ssd = std::make_unique<SsdFtl>(
+          pages + NativeCacheManager::kMetadataRegionPages, &shard->clock, ssd_opts);
+      NativeCacheManager::Options opts;
+      opts.mode = SystemIsWriteBack(config.type) ? NativeCacheManager::Mode::kWriteBack
+                                                 : NativeCacheManager::Mode::kWriteThrough;
+      opts.persist_metadata = config.native_persist_metadata;
+      opts.dirty_threshold = config.dirty_threshold;
+      auto manager = std::make_unique<NativeCacheManager>(shard->ssd.get(), shard->disk.get(),
+                                                          pages, opts);
+      shard->native_manager = manager.get();
+      shard->manager = std::move(manager);
     }
-    return;
+    shards_.push_back(std::move(shard));
   }
+}
 
-  SsdFtl::Options ssd_opts;
-  ssd_opts.timings = config.timings;
-  ssd_ = std::make_unique<SsdFtl>(
-      config.cache_pages + NativeCacheManager::kMetadataRegionPages, &clock_, ssd_opts);
-  NativeCacheManager::Options opts;
-  opts.mode = SystemIsWriteBack(config.type) ? NativeCacheManager::Mode::kWriteBack
-                                             : NativeCacheManager::Mode::kWriteThrough;
-  opts.persist_metadata = config.native_persist_metadata;
-  opts.dirty_threshold = config.dirty_threshold;
-  auto manager =
-      std::make_unique<NativeCacheManager>(ssd_.get(), disk_.get(), config.cache_pages, opts);
-  native_manager_ = manager.get();
-  manager_ = std::move(manager);
+ManagerStats FlashTierSystem::AggregateManagerStats() const {
+  ManagerStats out;
+  for (const auto& shard : shards_) {
+    out.Merge(shard->manager->stats());
+  }
+  return out;
+}
+
+FtlStats FlashTierSystem::AggregateFtlStats() const {
+  FtlStats out;
+  for (const auto& shard : shards_) {
+    if (shard->ssc != nullptr) {
+      out.Merge(shard->ssc->ftl_stats());
+    } else if (shard->ssd != nullptr) {
+      out.Merge(shard->ssd->ftl_stats());
+    }
+  }
+  return out;
+}
+
+FlashStats FlashTierSystem::AggregateFlashStats() const {
+  FlashStats out;
+  for (const auto& shard : shards_) {
+    if (shard->ssc != nullptr) {
+      out.Merge(shard->ssc->flash_stats());
+    } else if (shard->ssd != nullptr) {
+      out.Merge(shard->ssd->device().stats());
+    }
+  }
+  return out;
+}
+
+FaultStats FlashTierSystem::AggregateFaultStats() const {
+  FaultStats out;
+  for (const auto& shard : shards_) {
+    if (shard->ssc != nullptr) {
+      out.Merge(shard->ssc->device().fault_stats());
+    } else if (shard->ssd != nullptr) {
+      out.Merge(shard->ssd->device().fault_stats());
+    }
+  }
+  return out;
+}
+
+PersistStats FlashTierSystem::AggregatePersistStats() const {
+  PersistStats out;
+  for (const auto& shard : shards_) {
+    if (shard->ssc != nullptr) {
+      out.Merge(shard->ssc->persist_stats());
+    }
+  }
+  return out;
 }
 
 size_t FlashTierSystem::DeviceMemoryUsage() const {
-  if (ssc_ != nullptr) {
-    return ssc_->DeviceMemoryUsage();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->ssc != nullptr ? shard->ssc->DeviceMemoryUsage()
+                                   : shard->ssd->DeviceMemoryUsage();
   }
-  return ssd_->DeviceMemoryUsage();
+  return total;
+}
+
+size_t FlashTierSystem::HostMemoryUsage() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->manager->HostMemoryUsage();
+  }
+  return total;
 }
 
 }  // namespace flashtier

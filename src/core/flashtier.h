@@ -1,18 +1,31 @@
 // FlashTier system facade: assembles a cache manager, a caching device (SSC
 // or SSD), and a disk into one simulated storage system, in any of the
 // configurations the paper evaluates.
+//
+// The system can be sharded (SystemConfig::shards > 1) to model the channel/
+// plane parallelism of real flash: the unified sparse address space is
+// LBN-hash partitioned at 256 KB logical-block grain (ShardRouter), and each
+// shard is a complete vertical slice — its own virtual clock, disk queue,
+// caching device (with its own sparse maps, block allocator, log region,
+// group-commit state and silent-eviction GC) and cache manager. Shards share
+// no mutable state, so they can be driven by concurrent replay threads and
+// still behave bit-identically to a sequential walk of the same partition.
+// Callers address shards transparently through Read()/Write(); per-component
+// accessors default to shard 0 for single-shard compatibility.
 
 #ifndef FLASHTIER_CORE_FLASHTIER_H_
 #define FLASHTIER_CORE_FLASHTIER_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/cache/cache_manager.h"
 #include "src/cache/native.h"
 #include "src/cache/write_back.h"
 #include "src/cache/write_through.h"
 #include "src/disk/disk_model.h"
+#include "src/ssc/shard.h"
 #include "src/ssc/ssc_device.h"
 #include "src/ssd/ssd_ftl.h"
 
@@ -34,46 +47,83 @@ bool SystemIsWriteBack(SystemType type);
 
 struct SystemConfig {
   SystemType type = SystemType::kSscWriteBack;
-  uint64_t cache_pages = 0;  // 4 KB blocks of cache capacity
+  uint64_t cache_pages = 0;  // 4 KB blocks of cache capacity (total, all shards)
   ConsistencyMode consistency = ConsistencyMode::kFull;
   double dirty_threshold = 0.20;
   DiskParams disk;
   FlashTimings timings;
   // Native-D metadata persistence (write-back native only).
   bool native_persist_metadata = true;
+  // Independent channel shards; 1 keeps the classic monolithic system.
+  uint32_t shards = 1;
 };
 
 // Owns every component of one simulated storage system.
 class FlashTierSystem {
  public:
+  // One shard: a complete vertical slice modeling an independent channel.
+  struct Shard {
+    SimClock clock;
+    std::unique_ptr<DiskModel> disk;
+    std::unique_ptr<SscDevice> ssc;  // null unless the config uses an SSC
+    std::unique_ptr<SsdFtl> ssd;    // null unless the config uses an SSD
+    std::unique_ptr<CacheManager> manager;
+    WriteBackManager* wb_manager = nullptr;
+    NativeCacheManager* native_manager = nullptr;
+  };
+
   explicit FlashTierSystem(const SystemConfig& config);
 
-  CacheManager& manager() { return *manager_; }
-  SimClock& clock() { return clock_; }
-  DiskModel& disk() { return *disk_; }
+  // ---- Sharding ----
+
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+  Shard& shard(size_t i) { return *shards_[i]; }
+  const Shard& shard(size_t i) const { return *shards_[i]; }
+  const ShardRouter& router() const { return router_; }
+  uint32_t ShardOf(Lbn lbn) const { return router_.ShardOf(lbn); }
+
+  // Transparent shard-routed application I/O.
+  Status Read(Lbn lbn, uint64_t* token) {
+    return shards_[ShardOf(lbn)]->manager->Read(lbn, token);
+  }
+  Status Write(Lbn lbn, uint64_t token) {
+    return shards_[ShardOf(lbn)]->manager->Write(lbn, token);
+  }
+
+  // ---- Shard-0 component access (the whole system when shards == 1) ----
+
+  CacheManager& manager() { return *shards_[0]->manager; }
+  SimClock& clock() { return shards_[0]->clock; }
+  DiskModel& disk() { return *shards_[0]->disk; }
 
   // Null unless the configuration uses that device.
-  SscDevice* ssc() { return ssc_.get(); }
-  SsdFtl* ssd() { return ssd_.get(); }
-  WriteBackManager* write_back_manager() { return wb_manager_; }
-  NativeCacheManager* native_manager() { return native_manager_; }
+  SscDevice* ssc() { return shards_[0]->ssc.get(); }
+  SsdFtl* ssd() { return shards_[0]->ssd.get(); }
+  WriteBackManager* write_back_manager() { return shards_[0]->wb_manager; }
+  NativeCacheManager* native_manager() { return shards_[0]->native_manager; }
 
   const SystemConfig& config() const { return config_; }
+
+  // ---- Cross-shard aggregates ----
+
+  ManagerStats AggregateManagerStats() const;
+  FtlStats AggregateFtlStats() const;
+  FlashStats AggregateFlashStats() const;
+  FaultStats AggregateFaultStats() const;
+  // Zero-initialized when no shard has an SSC.
+  PersistStats AggregatePersistStats() const;
 
   // Total device-resident mapping memory (Table 4 "Device" column).
   size_t DeviceMemoryUsage() const;
   // Host-resident cache-manager memory (Table 4 "Host" column).
-  size_t HostMemoryUsage() const { return manager_->HostMemoryUsage(); }
+  size_t HostMemoryUsage() const;
 
  private:
   SystemConfig config_;
-  SimClock clock_;
-  std::unique_ptr<DiskModel> disk_;
-  std::unique_ptr<SscDevice> ssc_;
-  std::unique_ptr<SsdFtl> ssd_;
-  std::unique_ptr<CacheManager> manager_;
-  WriteBackManager* wb_manager_ = nullptr;
-  NativeCacheManager* native_manager_ = nullptr;
+  ShardRouter router_;
+  // Heap-allocated so component pointers into a shard (notably its clock)
+  // stay stable; shards are never moved after construction.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace flashtier

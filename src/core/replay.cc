@@ -1,68 +1,180 @@
 #include "src/core/replay.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace flashtier {
 
+namespace {
+
+uint64_t LookupExpectedToken(const std::unordered_map<Lbn, uint64_t>& oracle, Lbn lbn) {
+  const auto it = oracle.find(lbn);
+  return it != oracle.end() ? it->second : DiskModel::OriginalToken(lbn);
+}
+
+// Issues one trace record against one shard's manager and accounts it in
+// that shard's metrics/oracle. Shared by the streaming single-shard path and
+// the per-shard workers so both have identical semantics.
+void ProcessRecord(const TraceRecord& record, uint64_t seq, bool measured, bool verify,
+                   CacheManager& manager, const SimClock& clock, ReplayMetrics* metrics,
+                   std::unordered_map<Lbn, uint64_t>* oracle,
+                   std::unordered_set<Lbn>* lost_blocks) {
+  const uint64_t start_us = clock.now_us();
+  if (record.op == TraceOp::kWrite) {
+    const uint64_t token = (record.lbn << 20) ^ seq;
+    if (!IsOk(manager.Write(record.lbn, token))) {
+      ++metrics->failed_requests;
+    } else if (verify) {
+      (*oracle)[record.lbn] = token;
+      lost_blocks->erase(record.lbn);
+    }
+    if (measured) {
+      ++metrics->writes;
+    }
+  } else {
+    uint64_t token = 0;
+    const Status rs = manager.Read(record.lbn, &token);
+    if (!IsOk(rs)) {
+      // A medium error (lost dirty block) is reported, not hidden; count it
+      // apart from ordinary failures and stop oracle-checking the block —
+      // the disk copy it falls back to is some older version by definition.
+      ++metrics->failed_requests;
+      ++metrics->read_errors;
+      if (verify) {
+        oracle->erase(record.lbn);
+        lost_blocks->insert(record.lbn);
+      }
+    } else if (verify && lost_blocks->count(record.lbn) == 0 &&
+               token != LookupExpectedToken(*oracle, record.lbn)) {
+      ++metrics->stale_reads;
+    }
+    if (measured) {
+      ++metrics->reads;
+    }
+  }
+  if (measured) {
+    ++metrics->requests;
+    metrics->elapsed_us += clock.now_us() - start_us;
+    metrics->response_us.Add(clock.now_us() - start_us);
+  } else {
+    ++metrics->warmup_requests;
+  }
+}
+
+uint64_t WarmupBoundary(const ReplayEngine::Options& options, uint64_t total) {
+  return static_cast<uint64_t>(static_cast<double>(total) * options.warmup_fraction);
+}
+
+uint64_t TotalRequests(const ReplayEngine::Options& options, const TraceSource& source) {
+  return options.max_requests != 0
+             ? options.max_requests
+             : (source.size_hint() != 0 ? source.size_hint() : ~uint64_t{0});
+}
+
+}  // namespace
+
 uint64_t ReplayEngine::ExpectedToken(Lbn lbn) const {
-  const auto it = oracle_.find(lbn);
-  return it != oracle_.end() ? it->second : DiskModel::OriginalToken(lbn);
+  return LookupExpectedToken(oracle_, lbn);
+}
+
+void ReplayEngine::RunSingle(TraceSource& source) {
+  const uint64_t total = TotalRequests(options_, source);
+  const uint64_t warmup = WarmupBoundary(options_, total);
+  uint64_t seq = 0;
+  TraceRecord record;
+  while (seq < total && source.Next(&record)) {
+    ProcessRecord(record, seq, /*measured=*/seq >= warmup, options_.verify,
+                  system_->manager(), system_->clock(), &metrics_, &oracle_, &lost_blocks_);
+    ++seq;
+  }
+}
+
+void ReplayEngine::ReplayShard(FlashTierSystem::Shard& shard,
+                               const std::vector<ShardRequest>& queue, uint64_t warmup,
+                               ShardRun* run) const {
+  for (const ShardRequest& req : queue) {
+    ProcessRecord(req.record, req.seq, /*measured=*/req.seq >= warmup, options_.verify,
+                  *shard.manager, shard.clock, &run->metrics, &run->oracle,
+                  &run->lost_blocks);
+  }
+}
+
+void ReplayEngine::RunSharded(TraceSource& source) {
+  const uint64_t total = TotalRequests(options_, source);
+  const uint64_t warmup = WarmupBoundary(options_, total);
+  const uint32_t shard_count = system_->shard_count();
+
+  // Route the trace into per-shard subsequences. Each request carries its
+  // global sequence number so write tokens and the warmup boundary do not
+  // depend on the partitioning; per-LBN order is preserved because a given
+  // LBN always routes to the same shard queue.
+  std::vector<std::vector<ShardRequest>> queues(shard_count);
+  uint64_t seq = 0;
+  TraceRecord record;
+  while (seq < total && source.Next(&record)) {
+    queues[system_->ShardOf(record.lbn)].push_back(ShardRequest{record, seq});
+    ++seq;
+  }
+
+  std::vector<ShardRun> runs(shard_count);
+  const uint32_t threads =
+      std::min<uint32_t>(std::max<uint32_t>(1, options_.threads), shard_count);
+  if (threads <= 1) {
+    for (uint32_t i = 0; i < shard_count; ++i) {
+      ReplayShard(system_->shard(i), queues[i], warmup, &runs[i]);
+    }
+  } else {
+    // Static shard→worker assignment: shard i is replayed whole by worker
+    // i % threads. Shards share no mutable state, so workers never touch the
+    // same slice; each shard's computation is identical to the sequential
+    // walk above.
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (uint32_t w = 0; w < threads; ++w) {
+      workers.emplace_back([this, &queues, &runs, warmup, shard_count, threads, w] {
+        for (uint32_t i = w; i < shard_count; i += threads) {
+          ReplayShard(system_->shard(i), queues[i], warmup, &runs[i]);
+        }
+      });
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+
+  // Deterministic merge, in shard-index order: counters and histograms sum;
+  // the per-shard virtual clocks merge by max-epoch — the channels ran in
+  // parallel, so the measured phase lasts as long as its slowest shard.
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    const ReplayMetrics& m = runs[i].metrics;
+    metrics_.requests += m.requests;
+    metrics_.reads += m.reads;
+    metrics_.writes += m.writes;
+    metrics_.warmup_requests += m.warmup_requests;
+    metrics_.stale_reads += m.stale_reads;
+    metrics_.failed_requests += m.failed_requests;
+    metrics_.read_errors += m.read_errors;
+    metrics_.elapsed_us = std::max(metrics_.elapsed_us, m.elapsed_us);
+    metrics_.response_us.Merge(m.response_us);
+  }
 }
 
 ReplayMetrics ReplayEngine::Run(TraceSource& source) {
   metrics_ = ReplayMetrics{};
-  const uint64_t total = options_.max_requests != 0
-                             ? options_.max_requests
-                             : (source.size_hint() != 0 ? source.size_hint() : ~uint64_t{0});
-  const auto warmup = static_cast<uint64_t>(static_cast<double>(total) *
-                                            options_.warmup_fraction);
-  SimClock& clock = system_->clock();
-  CacheManager& manager = system_->manager();
-
-  uint64_t seq = 0;
-  TraceRecord record;
-  while (seq < total && source.Next(&record)) {
-    const bool measured = seq >= warmup;
-    const uint64_t start_us = clock.now_us();
-    if (record.op == TraceOp::kWrite) {
-      const uint64_t token = (record.lbn << 20) ^ seq;
-      if (!IsOk(manager.Write(record.lbn, token))) {
-        ++metrics_.failed_requests;
-      } else if (options_.verify) {
-        oracle_[record.lbn] = token;
-        lost_blocks_.erase(record.lbn);
-      }
-      if (measured) {
-        ++metrics_.writes;
-      }
-    } else {
-      uint64_t token = 0;
-      const Status rs = manager.Read(record.lbn, &token);
-      if (!IsOk(rs)) {
-        // A medium error (lost dirty block) is reported, not hidden; count it
-        // apart from ordinary failures and stop oracle-checking the block —
-        // the disk copy it falls back to is some older version by definition.
-        ++metrics_.failed_requests;
-        ++metrics_.read_errors;
-        if (options_.verify) {
-          oracle_.erase(record.lbn);
-          lost_blocks_.insert(record.lbn);
-        }
-      } else if (options_.verify && lost_blocks_.count(record.lbn) == 0 &&
-                 token != ExpectedToken(record.lbn)) {
-        ++metrics_.stale_reads;
-      }
-      if (measured) {
-        ++metrics_.reads;
-      }
-    }
-    if (measured) {
-      ++metrics_.requests;
-      metrics_.elapsed_us += clock.now_us() - start_us;
-      metrics_.response_us.Add(clock.now_us() - start_us);
-    } else {
-      ++metrics_.warmup_requests;
-    }
-    ++seq;
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (system_->shard_count() <= 1) {
+    RunSingle(source);
+  } else {
+    RunSharded(source);
   }
+  metrics_.wall_clock_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  metrics_.threads = std::min<uint32_t>(std::max<uint32_t>(1, options_.threads),
+                                        system_->shard_count());
+  metrics_.shards = system_->shard_count();
   source.Rewind();
   return metrics_;
 }

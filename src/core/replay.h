@@ -5,6 +5,18 @@
 // system components charged while serving it. IOPS = requests / elapsed
 // virtual seconds, the paper's performance metric (Figures 3, 4, 6).
 //
+// On a sharded system the engine routes each request to its LBN's shard and
+// replays the per-shard subsequences on worker threads (Options::threads).
+// Every shard is a complete, isolated vertical slice with its own virtual
+// clock, so a shard's replay is a deterministic sequential computation no
+// matter which thread runs it; per-LBN order is preserved because routing is
+// a pure function of the LBN. Virtual-time metrics are merged in shard
+// order — counter sums, bucket-wise histogram sums, and a max-epoch merge of
+// the per-shard clocks (channels run in parallel, so elapsed virtual time is
+// the slowest shard's epoch) — making the merged metrics bit-identical for
+// any thread count. Wall-clock throughput (wall_clock_us, ReplayOpsPerSec)
+// is the only thread-dependent output.
+//
 // The engine optionally verifies correctness as it replays: it tracks the
 // newest token written to each block and checks that every read returns it —
 // a stale read anywhere in the cache hierarchy fails the run.
@@ -15,6 +27,7 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "src/core/flashtier.h"
 #include "src/trace/trace.h"
@@ -27,6 +40,7 @@ struct ReplayMetrics {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t elapsed_us = 0;       // virtual time spent in the measured phase
+                                 // (sharded: max-epoch across shard clocks)
   uint64_t warmup_requests = 0;  // replayed before measurement began
   uint64_t stale_reads = 0;      // correctness violations (must be 0)
   uint64_t failed_requests = 0;  // manager returned an error
@@ -36,12 +50,26 @@ struct ReplayMetrics {
   uint64_t read_errors = 0;
   LatencyHistogram response_us;
 
+  // Host-side wall clock for the whole replay (warmup included) and the
+  // shape that produced it. Unlike every field above, wall_clock_us is real
+  // time: it varies run to run and across thread counts — it is the number
+  // the parallel engine exists to shrink.
+  uint64_t wall_clock_us = 0;
+  uint32_t threads = 1;
+  uint32_t shards = 1;
+
   double Iops() const {
     return elapsed_us == 0 ? 0.0
                            : static_cast<double>(requests) * 1e6 /
                                  static_cast<double>(elapsed_us);
   }
   double MeanResponseUs() const { return response_us.mean(); }
+  // Replayed requests (measured + warmup) per wall-clock second.
+  double ReplayOpsPerSec() const {
+    return wall_clock_us == 0 ? 0.0
+                              : static_cast<double>(requests + warmup_requests) * 1e6 /
+                                    static_cast<double>(wall_clock_us);
+  }
 };
 
 class ReplayEngine {
@@ -50,6 +78,9 @@ class ReplayEngine {
     double warmup_fraction = 0.0;  // fraction of the trace replayed unmeasured
     bool verify = false;           // oracle-check every read
     uint64_t max_requests = 0;     // 0 = whole trace
+    // Worker threads for sharded systems; clamped to the shard count. The
+    // virtual-time metrics do not depend on this value.
+    uint32_t threads = 1;
   };
 
   ReplayEngine(FlashTierSystem* system, const Options& options)
@@ -63,7 +94,25 @@ class ReplayEngine {
   const ReplayMetrics& metrics() const { return metrics_; }
 
  private:
+  struct ShardRequest {
+    TraceRecord record;
+    uint64_t seq = 0;  // global trace sequence: token derivation + warmup cut
+  };
+
+  // Per-shard replay state and partial metrics; merged in shard order.
+  struct ShardRun {
+    ReplayMetrics metrics;
+    std::unordered_map<Lbn, uint64_t> oracle;
+    std::unordered_set<Lbn> lost_blocks;
+  };
+
   uint64_t ExpectedToken(Lbn lbn) const;
+  void RunSingle(TraceSource& source);
+  void RunSharded(TraceSource& source);
+  // Replays one shard's subsequence on that shard's slice. Pure function of
+  // (shard slice, queue): touches no engine state besides `run`.
+  void ReplayShard(FlashTierSystem::Shard& shard, const std::vector<ShardRequest>& queue,
+                   uint64_t warmup, ShardRun* run) const;
 
   FlashTierSystem* system_;
   Options options_;

@@ -48,6 +48,14 @@ struct FaultStats {
   uint64_t erase_failures = 0;     // erase ops rejected; block is bad after
   uint64_t read_corruptions = 0;   // reads that returned kCorrupt
   uint64_t crc_mismatches = 0;     // stored-data CRC checks that failed
+
+  // Accumulates another device's counters (per-shard aggregation).
+  void Merge(const FaultStats& o) {
+    program_failures += o.program_failures;
+    erase_failures += o.erase_failures;
+    read_corruptions += o.read_corruptions;
+    crc_mismatches += o.crc_mismatches;
+  }
 };
 
 }  // namespace flashtier

@@ -50,6 +50,16 @@ struct FlashStats {
   uint64_t erases = 0;
   uint64_t gc_copies = 0;  // internal copy-back programs (subset of nothing; counted separately)
   uint64_t busy_us = 0;    // total device busy time charged to the clock
+
+  // Accumulates another device's counters (per-shard aggregation).
+  void Merge(const FlashStats& o) {
+    page_reads += o.page_reads;
+    page_writes += o.page_writes;
+    oob_reads += o.oob_reads;
+    erases += o.erases;
+    gc_copies += o.gc_copies;
+    busy_us += o.busy_us;
+  }
 };
 
 class FlashDevice {

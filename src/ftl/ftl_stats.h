@@ -27,6 +27,23 @@ struct FtlStats {
   uint64_t dropped_clean_pages = 0;  // clean pages lost to media errors (just misses)
   uint64_t lost_dirty_pages = 0;     // dirty pages lost to media errors (data loss)
 
+  // Accumulates another FTL's counters (per-shard aggregation).
+  void Merge(const FtlStats& o) {
+    host_reads += o.host_reads;
+    host_writes += o.host_writes;
+    host_read_misses += o.host_read_misses;
+    gc_invocations += o.gc_invocations;
+    full_merges += o.full_merges;
+    partial_merges += o.partial_merges;
+    switch_merges += o.switch_merges;
+    silent_evictions += o.silent_evictions;
+    silently_evicted_pages += o.silently_evicted_pages;
+    program_retries += o.program_retries;
+    retired_blocks += o.retired_blocks;
+    dropped_clean_pages += o.dropped_clean_pages;
+    lost_dirty_pages += o.lost_dirty_pages;
+  }
+
   // Write amplification = (all flash page programs, including GC copies and
   // metadata) / host page writes - 1 would be "extra writes per block"; the
   // paper's Table 5 reports extra writes per block, e.g. 2.30 means each

@@ -45,7 +45,11 @@ template <typename K, typename V>
 class SparseHashMap {
  public:
   static constexpr uint32_t kGroupSize = 32;   // M in the paper
+  static constexpr uint32_t kGroupShift = 5;   // log2(kGroupSize)
+  static constexpr uint32_t kGroupMask = kGroupSize - 1;
   static constexpr double kMaxLoadFactor = 0.75;
+  static_assert(kGroupSize == (uint32_t{1} << kGroupShift),
+                "group indexing relies on shift/mask arithmetic");
 
   struct Entry {
     K key;
@@ -146,6 +150,20 @@ class SparseHashMap {
     size_ = 0;
   }
 
+  // Pre-sizes the table so `n` entries fit under the maximum load factor
+  // without intermediate rehashes — a bulk load (checkpoint recovery) then
+  // pays one table allocation instead of log2(n) rehash passes. Never
+  // shrinks the table.
+  void Reserve(size_t n) {
+    size_t want = kMinBuckets;
+    while (static_cast<double>(n) > kMaxLoadFactor * static_cast<double>(want)) {
+      want *= 2;
+    }
+    if (want > buckets_) {
+      Rehash(want);
+    }
+  }
+
   // Calls fn(key, value) for every entry, in unspecified order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
@@ -180,7 +198,7 @@ class SparseHashMap {
   void InitTable(size_t buckets) {
     buckets_ = buckets;
     mask_ = buckets - 1;
-    groups_.assign(buckets / kGroupSize, Group{});
+    groups_.assign(buckets >> kGroupShift, Group{});
   }
 
   void Destroy() {
@@ -205,8 +223,8 @@ class SparseHashMap {
 
   // Packed pointer for bucket `b`, or nullptr if unoccupied.
   Entry* EntryAt(size_t b) {
-    Group& g = groups_[b / kGroupSize];
-    const uint32_t off = static_cast<uint32_t>(b % kGroupSize);
+    Group& g = groups_[b >> kGroupShift];
+    const uint32_t off = static_cast<uint32_t>(b & kGroupMask);
     if (((g.bitmap >> off) & 1u) == 0) {
       return nullptr;
     }
@@ -233,8 +251,8 @@ class SparseHashMap {
   // Inserts into an unoccupied bucket, reallocating the group's packed array
   // to the exact new size (sparsehash behaviour).
   void InsertAt(size_t b, K key, const V& value) {
-    Group& g = groups_[b / kGroupSize];
-    const uint32_t off = static_cast<uint32_t>(b % kGroupSize);
+    Group& g = groups_[b >> kGroupShift];
+    const uint32_t off = static_cast<uint32_t>(b & kGroupMask);
     assert(((g.bitmap >> off) & 1u) == 0);
     const uint32_t old_n = static_cast<uint32_t>(std::popcount(g.bitmap));
     const uint32_t idx =
@@ -252,8 +270,8 @@ class SparseHashMap {
   }
 
   void RemoveAt(size_t b) {
-    Group& g = groups_[b / kGroupSize];
-    const uint32_t off = static_cast<uint32_t>(b % kGroupSize);
+    Group& g = groups_[b >> kGroupShift];
+    const uint32_t off = static_cast<uint32_t>(b & kGroupMask);
     assert(((g.bitmap >> off) & 1u) != 0);
     const uint32_t old_n = static_cast<uint32_t>(std::popcount(g.bitmap));
     const uint32_t idx =

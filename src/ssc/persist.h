@@ -115,6 +115,25 @@ struct PersistStats {
   // Media-corruption handling during recovery (see DESIGN.md §5d).
   uint64_t corrupt_records_skipped = 0;  // log records failing their CRC
   uint64_t checkpoint_fallbacks = 0;     // recoveries served by the previous checkpoint
+
+  // Accumulates another manager's counters (per-shard aggregation). Recovery
+  // time keeps the slowest shard: shards recover in parallel, so the system
+  // is back when the last one is.
+  void Merge(const PersistStats& o) {
+    records_logged += o.records_logged;
+    sync_commits += o.sync_commits;
+    group_commits += o.group_commits;
+    log_page_writes += o.log_page_writes;
+    checkpoints += o.checkpoints;
+    checkpoint_page_writes += o.checkpoint_page_writes;
+    records_lost_in_crash += o.records_lost_in_crash;
+    last_recovery_us = last_recovery_us > o.last_recovery_us ? last_recovery_us
+                                                             : o.last_recovery_us;
+    recovered_checkpoint_entries += o.recovered_checkpoint_entries;
+    replayed_log_records += o.replayed_log_records;
+    corrupt_records_skipped += o.corrupt_records_skipped;
+    checkpoint_fallbacks += o.checkpoint_fallbacks;
+  }
 };
 
 class PersistenceManager {

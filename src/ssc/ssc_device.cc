@@ -1075,7 +1075,16 @@ Status SscDevice::Recover() {
   const FlashGeometry& g = device_->geometry();
   const uint32_t ppb = g.pages_per_block;
 
-  // 1. Forward maps: checkpoint, then roll the log forward.
+  // 1. Forward maps: checkpoint, then roll the log forward. Pre-size both
+  // maps for the checkpoint's bulk load so recovery pays one table
+  // allocation per map instead of a rehash cascade.
+  size_t block_entries = 0;
+  size_t page_entries = 0;
+  for (const CheckpointEntry& e : checkpoint) {
+    (e.block_level ? block_entries : page_entries) += 1;
+  }
+  block_map_.Reserve(block_entries);
+  page_map_.Reserve(page_entries);
   for (const CheckpointEntry& e : checkpoint) {
     if (e.block_level) {
       BlockEntry be;

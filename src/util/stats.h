@@ -80,6 +80,22 @@ class LatencyHistogram {
     max_ = 0;
   }
 
+  // Accumulates another histogram. Bucket-wise sums commute, so merging
+  // per-shard histograms in shard order yields the same result no matter how
+  // many threads produced them.
+  void Merge(const LatencyHistogram& o) {
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += o.buckets_[i];
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    max_ = std::max(max_, o.max_);
+  }
+
+  bool operator==(const LatencyHistogram& o) const {
+    return buckets_ == o.buckets_ && count_ == o.count_ && sum_ == o.sum_ && max_ == o.max_;
+  }
+
  private:
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;

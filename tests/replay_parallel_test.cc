@@ -1,0 +1,182 @@
+// Tests for the sharded system + parallel replay engine: virtual-time
+// metrics must be bit-identical no matter how many worker threads replay a
+// sharded system, the stale-read oracle must stay clean, and the recovered
+// shard partition must pass the structural invariant audit.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/check/invariant_checker.h"
+#include "src/core/flashtier.h"
+#include "src/core/replay.h"
+#include "src/trace/workload.h"
+
+namespace flashtier {
+namespace {
+
+WorkloadProfile TestProfile() {
+  WorkloadProfile p;
+  p.name = "parallel-test";
+  p.range_blocks = 400'000;
+  p.unique_blocks = 12'000;
+  p.full_unique_blocks = 12'000;
+  p.total_ops = 30'000;
+  p.write_fraction = 0.6;
+  p.seed = 11;
+  return p;
+}
+
+struct ShardedRun {
+  ReplayMetrics metrics;
+  ManagerStats manager;
+  FtlStats ftl;
+};
+
+// Fresh system + fresh workload per run: only `threads` varies.
+ShardedRun RunWith(uint32_t shards, uint32_t threads, SystemType type) {
+  SystemConfig config;
+  config.type = type;
+  config.cache_pages = 8192;
+  config.shards = shards;
+  FlashTierSystem system(config);
+  SyntheticWorkload workload(TestProfile());
+  ReplayEngine::Options opts;
+  opts.warmup_fraction = 0.15;
+  opts.verify = true;
+  opts.threads = threads;
+  ReplayEngine engine(&system, opts);
+  ShardedRun run;
+  run.metrics = engine.Run(workload);
+  run.manager = system.AggregateManagerStats();
+  run.ftl = system.AggregateFtlStats();
+  return run;
+}
+
+void ExpectVirtualTimeEqual(const ShardedRun& a, const ShardedRun& b) {
+  EXPECT_EQ(a.metrics.requests, b.metrics.requests);
+  EXPECT_EQ(a.metrics.warmup_requests, b.metrics.warmup_requests);
+  EXPECT_EQ(a.metrics.reads, b.metrics.reads);
+  EXPECT_EQ(a.metrics.writes, b.metrics.writes);
+  EXPECT_EQ(a.metrics.elapsed_us, b.metrics.elapsed_us);
+  EXPECT_EQ(a.metrics.stale_reads, b.metrics.stale_reads);
+  EXPECT_EQ(a.metrics.failed_requests, b.metrics.failed_requests);
+  EXPECT_EQ(a.metrics.read_errors, b.metrics.read_errors);
+  EXPECT_TRUE(a.metrics.response_us == b.metrics.response_us);
+  EXPECT_EQ(a.metrics.Iops(), b.metrics.Iops());
+  EXPECT_EQ(a.metrics.MeanResponseUs(), b.metrics.MeanResponseUs());
+  // Device-side work must match too, not just the request-level view.
+  EXPECT_EQ(a.manager.read_hits, b.manager.read_hits);
+  EXPECT_EQ(a.manager.read_misses, b.manager.read_misses);
+  EXPECT_EQ(a.manager.writebacks, b.manager.writebacks);
+  EXPECT_EQ(a.manager.evicts, b.manager.evicts);
+  EXPECT_EQ(a.ftl.gc_invocations, b.ftl.gc_invocations);
+}
+
+TEST(ParallelReplayTest, VirtualMetricsIdenticalAcrossThreadCounts) {
+  const ShardedRun t1 = RunWith(8, 1, SystemType::kSscWriteBack);
+  const ShardedRun t4 = RunWith(8, 4, SystemType::kSscWriteBack);
+  const ShardedRun t8 = RunWith(8, 8, SystemType::kSscWriteBack);
+  ASSERT_EQ(t1.metrics.stale_reads, 0u);
+  ASSERT_GT(t1.metrics.requests, 0u);
+  EXPECT_EQ(t1.metrics.threads, 1u);
+  EXPECT_EQ(t4.metrics.threads, 4u);
+  EXPECT_EQ(t8.metrics.threads, 8u);
+  EXPECT_EQ(t8.metrics.shards, 8u);
+  ExpectVirtualTimeEqual(t1, t4);
+  ExpectVirtualTimeEqual(t1, t8);
+}
+
+TEST(ParallelReplayTest, WriteThroughAlsoDeterministic) {
+  const ShardedRun t1 = RunWith(4, 1, SystemType::kSscRWriteThrough);
+  const ShardedRun t4 = RunWith(4, 4, SystemType::kSscRWriteThrough);
+  ASSERT_EQ(t1.metrics.stale_reads, 0u);
+  ExpectVirtualTimeEqual(t1, t4);
+}
+
+TEST(ParallelReplayTest, ThreadsClampedToShardCount) {
+  // A single-shard system with 8 requested threads is a sequential replay.
+  const ShardedRun run = RunWith(1, 8, SystemType::kSscWriteBack);
+  EXPECT_EQ(run.metrics.threads, 1u);
+  EXPECT_EQ(run.metrics.shards, 1u);
+  EXPECT_EQ(run.metrics.stale_reads, 0u);
+  EXPECT_GT(run.metrics.wall_clock_us, 0u);
+  EXPECT_GT(run.metrics.ReplayOpsPerSec(), 0.0);
+}
+
+TEST(ParallelReplayTest, ShardedSystemPassesPartitionAudit) {
+  SystemConfig config;
+  config.type = SystemType::kSscWriteBack;
+  config.cache_pages = 8192;
+  config.shards = 4;
+  FlashTierSystem system(config);
+  SyntheticWorkload workload(TestProfile());
+  ReplayEngine::Options opts;
+  opts.warmup_fraction = 0.15;
+  opts.verify = true;
+  opts.threads = 4;
+  ReplayEngine engine(&system, opts);
+  const ReplayMetrics m = engine.Run(workload);
+  ASSERT_EQ(m.stale_reads, 0u);
+  std::vector<const SscDevice*> shard_views;
+  for (uint32_t i = 0; i < system.shard_count(); ++i) {
+    ASSERT_NE(system.shard(i).ssc.get(), nullptr);
+    shard_views.push_back(system.shard(i).ssc.get());
+  }
+  const CheckReport report = InvariantChecker::CheckSharded(shard_views, system.router());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks_run, 0u);
+}
+
+TEST(ParallelReplayTest, RouterPartitionsAtErasBlockGrain) {
+  ShardRouter router;
+  router.shards = 8;
+  // Every page of one 64-page logical block lands on the same shard, so a
+  // block-map entry can never straddle shards.
+  for (Lbn base = 0; base < 64 * 100; base += 64) {
+    const uint32_t s = router.ShardOf(base);
+    for (uint32_t off = 1; off < 64; ++off) {
+      ASSERT_EQ(router.ShardOf(base + off), s) << "lbn " << base + off;
+    }
+  }
+  // And the hash actually spreads blocks across shards.
+  std::vector<uint32_t> hits(8, 0);
+  for (Lbn base = 0; base < 64 * 1000; base += 64) {
+    ++hits[router.ShardOf(base)];
+  }
+  for (uint32_t s = 0; s < 8; ++s) {
+    EXPECT_GT(hits[s], 0u) << "shard " << s << " never used";
+  }
+}
+
+TEST(ParallelReplayTest, ShardedAggregatesSumAcrossShards) {
+  SystemConfig config;
+  config.type = SystemType::kSscWriteBack;
+  config.cache_pages = 4096;
+  config.shards = 4;
+  FlashTierSystem system(config);
+  EXPECT_EQ(system.shard_count(), 4u);
+  for (Lbn lbn = 0; lbn < 4000; ++lbn) {
+    ASSERT_EQ(system.Write(lbn, lbn + 1), Status::kOk);
+  }
+  uint64_t reads = 0;
+  for (Lbn lbn = 0; lbn < 4000; ++lbn) {
+    uint64_t token = 0;
+    if (system.Read(lbn, &token) == Status::kOk) {
+      ASSERT_EQ(token, lbn + 1);
+      ++reads;
+    }
+  }
+  EXPECT_GT(reads, 0u);
+  const ManagerStats m = system.AggregateManagerStats();
+  // Each per-shard manager only saw its partition; the aggregate sees all.
+  uint64_t shard_hits = 0;
+  for (uint32_t i = 0; i < system.shard_count(); ++i) {
+    shard_hits += system.shard(i).manager->stats().read_hits;
+  }
+  EXPECT_EQ(m.read_hits, shard_hits);
+  EXPECT_GT(system.DeviceMemoryUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace flashtier

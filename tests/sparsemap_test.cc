@@ -112,6 +112,40 @@ TEST(SparseHashMapTest, ClearEmptiesAndRemainsUsable) {
   EXPECT_EQ(*map.Find(5), 55u);
 }
 
+TEST(SparseHashMapTest, ReservePreSizesForBulkLoad) {
+  SparseHashMap<uint64_t, uint64_t> map;
+  map.Reserve(10'000);
+  const size_t reserved_buckets = map.bucket_count();
+  // 10k entries at the 0.75 max load factor need >= 13334 buckets.
+  EXPECT_GE(reserved_buckets, 10'000u * 4 / 3);
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    map.Insert(i * 7919, i);
+  }
+  // The bulk load fits without a single further rehash.
+  EXPECT_EQ(map.bucket_count(), reserved_buckets);
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_NE(map.Find(i * 7919), nullptr);
+    EXPECT_EQ(*map.Find(i * 7919), i);
+  }
+}
+
+TEST(SparseHashMapTest, ReserveNeverShrinksAndPreservesEntries) {
+  SparseHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 1'000; ++i) {
+    map.Insert(i * 13, i);
+  }
+  const size_t buckets = map.bucket_count();
+  map.Reserve(10);  // smaller than current size: no-op
+  EXPECT_EQ(map.bucket_count(), buckets);
+  map.Reserve(4'000);  // grows, existing entries rehash in place
+  EXPECT_GT(map.bucket_count(), buckets);
+  EXPECT_EQ(map.size(), 1'000u);
+  for (uint64_t i = 0; i < 1'000; ++i) {
+    ASSERT_NE(map.Find(i * 13), nullptr);
+    EXPECT_EQ(*map.Find(i * 13), i);
+  }
+}
+
 // Property test: random interleavings of insert/overwrite/erase/lookup match
 // std::unordered_map exactly. Parameterized over seeds and key-space density
 // to shake out probe-chain and backward-shift deletion bugs.

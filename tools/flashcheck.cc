@@ -12,6 +12,7 @@
 //
 // Usage:
 //   flashcheck [--ops=600] [--capacity-pages=512] [--address-blocks=1536]
+//              [--shards=1]
 //              [--policy=se-util|se-merge] [--mode=full|relaxed]
 //              [--group-commit-ops=16] [--checkpoint-interval=250]
 //              [--seed=42] [--stride=1] [--max-points=0] [--verbose=false]
@@ -51,6 +52,15 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(args.GetInt("capacity-pages", static_cast<int64_t>(options.capacity_pages)));
   options.address_blocks =
       static_cast<uint64_t>(args.GetInt("address-blocks", static_cast<int64_t>(options.address_blocks)));
+  // --shards=N explores a sharded SSC: capacity is split across N LBN-hash
+  // partitioned devices, a crash hits them all at once, and the partition-
+  // disjointness invariant is audited next to G1-G3. Default 1 = classic
+  // monolithic exploration, byte-for-byte the previous behaviour.
+  options.shards = static_cast<uint32_t>(args.GetPositiveInt("shards", options.shards));
+  if (!args.ok()) {
+    std::fprintf(stderr, "flashcheck: %s\n", args.error().c_str());
+    return 2;
+  }
   options.group_commit_ops =
       static_cast<uint32_t>(args.GetInt("group-commit-ops", options.group_commit_ops));
   options.checkpoint_interval_writes = static_cast<uint64_t>(
