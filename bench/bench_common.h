@@ -127,6 +127,35 @@ inline ParallelFlags GetParallelFlags(ArgParser& args) {
   return flags;
 }
 
+// --admission=<name> plus tuning knobs for the selective policies. Unknown
+// names are fatal (exit 2), like unknown workloads: a typo must not silently
+// run admit-all. The returned config rides in SystemConfig::admission.
+inline PolicyConfig GetAdmissionConfig(ArgParser& args) {
+  PolicyConfig config;
+  const std::string name = args.GetString("admission", "admit-all");
+  if (!ParseAdmissionKind(name, &config.kind)) {
+    std::fprintf(stderr, "unknown --admission '%s' (valid: %s)\n", name.c_str(),
+                 KnownAdmissionNames());
+    std::exit(2);
+  }
+  config.seed = static_cast<uint64_t>(args.GetInt("admission-seed", static_cast<int64_t>(config.seed)));
+  config.ghost_entries =
+      static_cast<uint32_t>(args.GetPositiveInt("ghost-entries", config.ghost_entries));
+  config.ghost_required_misses =
+      static_cast<uint32_t>(args.GetPositiveInt("ghost-misses", config.ghost_required_misses));
+  config.sketch_width =
+      static_cast<uint32_t>(args.GetPositiveInt("sketch-width", config.sketch_width));
+  config.sketch_threshold =
+      static_cast<uint32_t>(args.GetPositiveInt("sketch-threshold", config.sketch_threshold));
+  config.write_rate_pages_per_sec = args.GetDouble("write-rate", config.write_rate_pages_per_sec);
+  config.write_burst_pages = args.GetDouble("write-burst", config.write_burst_pages);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    std::exit(2);
+  }
+  return config;
+}
+
 struct RunResult {
   ReplayMetrics metrics;
   double iops = 0.0;
@@ -177,6 +206,7 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
   const ManagerStats m = system->AggregateManagerStats();
   std::fprintf(f,
                "{\"bench\":\"%s\",\"workload\":\"%s\",\"system\":\"%s\","
+               "\"policy\":\"%s\","
                "\"iops\":%.1f,\"mean_response_us\":%.2f,"
                "\"requests\":%llu,\"stale_reads\":%llu,\"failed_requests\":%llu,"
                "\"read_errors\":%llu,"
@@ -185,7 +215,8 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
                "\"manager\":{\"read_hits\":%llu,\"read_misses\":%llu,\"writebacks\":%llu,"
                "\"evicts\":%llu,\"read_errors\":%llu,\"lost_dirty\":%llu,"
                "\"degraded_entries\":%llu,\"pass_through_writes\":%llu}",
-               bench, profile.name.c_str(), SystemTypeName(config.type).c_str(), result.iops,
+               bench, profile.name.c_str(), SystemTypeName(config.type).c_str(),
+               system->admission_name(), result.iops,
                result.mean_response_us, (unsigned long long)result.metrics.requests,
                (unsigned long long)result.metrics.stale_reads,
                (unsigned long long)result.metrics.failed_requests,
@@ -198,6 +229,17 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
                (unsigned long long)m.read_errors, (unsigned long long)m.lost_dirty,
                (unsigned long long)m.degraded_entries,
                (unsigned long long)m.pass_through_writes);
+  // Admission-policy counters (summed across shards, like everything else).
+  // Present for every run — with the default admit-all, rejects and the
+  // regret counter are zero and admits equals the insertions performed.
+  const PolicyStats ps = system->AggregatePolicyStats();
+  std::fprintf(f,
+               ",\"policy_stats\":{\"admits\":%llu,\"rejects\":%llu,\"ghost_hits\":%llu,"
+               "\"rejected_then_remissed\":%llu,\"flash_writes_saved\":%llu}",
+               (unsigned long long)ps.admits, (unsigned long long)ps.rejects,
+               (unsigned long long)ps.ghost_hits,
+               (unsigned long long)ps.rejected_then_remissed,
+               (unsigned long long)ps.flash_writes_saved);
   const bool has_device = system->ssc() != nullptr || system->ssd() != nullptr;
   if (system->ssc() != nullptr) {
     const PersistStats p = system->AggregatePersistStats();
@@ -209,6 +251,14 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
                  (unsigned long long)p.checkpoint_fallbacks);
   }
   if (has_device) {
+    // Raw medium counters: the flash-write economy an admission policy is
+    // judged on (writes and erases per request → wear, Table 5).
+    const FlashStats flash = system->AggregateFlashStats();
+    std::fprintf(f,
+                 ",\"flash\":{\"page_reads\":%llu,\"page_writes\":%llu,\"erases\":%llu,"
+                 "\"gc_copies\":%llu}",
+                 (unsigned long long)flash.page_reads, (unsigned long long)flash.page_writes,
+                 (unsigned long long)flash.erases, (unsigned long long)flash.gc_copies);
     const FtlStats ftl = system->AggregateFtlStats();
     const FaultStats faults = system->AggregateFaultStats();
     std::fprintf(f,

@@ -22,10 +22,14 @@ int Main(int argc, char** argv) {
     return 1;
   }
   const ParallelFlags parallel = GetParallelFlags(args);
+  const PolicyConfig admission = GetAdmissionConfig(args);
   const std::vector<WorkloadProfile> profiles = BenchProfiles(args);
   PrintHeader("Figure 3: application performance, % of native write-back IOPS");
   if (parallel.shards > 1 || parallel.threads > 1) {
     std::printf("parallel replay: %u shards, %u threads\n", parallel.shards, parallel.threads);
+  }
+  if (admission.kind != AdmissionKind::kAdmitAll) {
+    std::printf("admission policy: %s\n", AdmissionKindName(admission.kind));
   }
   const SystemType systems[] = {SystemType::kNativeWriteBack, SystemType::kSscWriteThrough,
                                 SystemType::kSscRWriteThrough, SystemType::kSscWriteBack,
@@ -47,6 +51,7 @@ int Main(int argc, char** argv) {
       config.cache_pages = CachePagesFor(profile);
       config.consistency = ConsistencyMode::kFull;
       config.shards = parallel.shards;
+      config.admission = admission;
       FlashTierSystem system(config);
       const RunResult r = ReplayWorkload(profile, config, &system, 0.15,
                                          args.GetBool("verify", false), parallel.threads);

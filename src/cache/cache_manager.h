@@ -17,6 +17,8 @@
 
 namespace flashtier {
 
+class AdmissionPolicy;
+
 struct ManagerStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -76,6 +78,11 @@ class CacheManager {
   virtual size_t HostMemoryUsage() const = 0;
 
   virtual const ManagerStats& stats() const = 0;
+
+  // Installs (or, with nullptr, removes) the admission policy consulted
+  // before every cache insertion. With no policy the manager admits
+  // unconditionally and makes zero policy calls — the pre-policy behaviour.
+  virtual void set_admission_policy(AdmissionPolicy* policy) { (void)policy; }
 };
 
 }  // namespace flashtier

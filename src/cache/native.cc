@@ -9,7 +9,11 @@ namespace flashtier {
 
 NativeCacheManager::NativeCacheManager(SsdFtl* ssd, DiskModel* disk, uint64_t cache_pages,
                                        const Options& options)
-    : ssd_(ssd), disk_(disk), options_(options), cache_pages_(cache_pages) {
+    : ssd_(ssd),
+      disk_(disk),
+      policy_(options.admission),
+      options_(options),
+      cache_pages_(cache_pages) {
   sets_ = static_cast<uint32_t>(
       std::max<uint64_t>(1, cache_pages / options_.associativity));
   slots_.assign(static_cast<size_t>(sets_) * options_.associativity, Slot{});
@@ -126,19 +130,31 @@ Status NativeCacheManager::AllocateWay(uint32_t set, uint16_t* way) {
       return st;
     }
   }
+  const Lbn victim_lbn = s.lbn;
   ssd_->Trim(SsdPageOf(set, victim));
   LruUnlink(set, victim);
   s = Slot{};
   --occupied_;
   ++stats_.evicts;
+  if (policy_ != nullptr) {
+    policy_->OnEvict(victim_lbn);
+  }
   MetadataUpdate();
   *way = victim;
   return Status::kOk;
 }
 
-Status NativeCacheManager::InsertBlock(Lbn lbn, uint64_t token, bool dirty) {
+Status NativeCacheManager::InsertBlock(Lbn lbn, uint64_t token, bool dirty, AdmissionOp op) {
   const uint32_t set = SetOf(lbn);
   uint16_t way = FindWay(set, lbn);
+  const bool was_present = (way != kNilWay);
+  if (!was_present && policy_ != nullptr &&
+      !policy_->ShouldAdmit(lbn, op, AdmissionContext{})) {
+    // Rejected new insertion: nothing is cached (the table lookup missed),
+    // so the block simply stays uncached; dirty data goes straight to disk.
+    policy_->OnReject(lbn);
+    return dirty ? disk_->Write(lbn, token) : Status::kOk;
+  }
   if (way == kNilWay) {
     if (Status s = AllocateWay(set, &way); !IsOk(s)) {
       return s;
@@ -173,6 +189,9 @@ Status NativeCacheManager::InsertBlock(Lbn lbn, uint64_t token, bool dirty) {
       return dirty ? disk_->Write(lbn, token) : Status::kOk;
     }
     return ws;
+  }
+  if (!was_present && policy_ != nullptr) {
+    policy_->OnAdmit(lbn);
   }
   if (dirty && s.state != SlotState::kDirty) {
     s.state = SlotState::kDirty;
@@ -260,6 +279,9 @@ Status NativeCacheManager::CleanSet(uint32_t set) {
 
 Status NativeCacheManager::Read(Lbn lbn, uint64_t* token) {
   ++stats_.reads;
+  if (policy_ != nullptr) {
+    policy_->OnAccess(lbn, /*is_write=*/false);
+  }
   const uint32_t set = SetOf(lbn);
   const uint16_t way = FindWay(set, lbn);
   if (way != kNilWay) {
@@ -285,6 +307,9 @@ Status NativeCacheManager::Read(Lbn lbn, uint64_t* token) {
     LruUnlink(set, way);
     s = Slot{};
     --occupied_;
+    if (policy_ != nullptr) {
+      policy_->OnEvict(lbn);
+    }
     if (was_dirty) {
       return Status::kIoError;
     }
@@ -294,7 +319,8 @@ Status NativeCacheManager::Read(Lbn lbn, uint64_t* token) {
   if (Status s = disk_->Read(lbn, &fetched); !IsOk(s)) {
     return s;
   }
-  if (Status s = InsertBlock(lbn, fetched, /*dirty=*/false); !IsOk(s)) {
+  if (Status s = InsertBlock(lbn, fetched, /*dirty=*/false, AdmissionOp::kReadFill);
+      !IsOk(s)) {
     return s;
   }
   if (token != nullptr) {
@@ -305,13 +331,16 @@ Status NativeCacheManager::Read(Lbn lbn, uint64_t* token) {
 
 Status NativeCacheManager::Write(Lbn lbn, uint64_t token) {
   ++stats_.writes;
+  if (policy_ != nullptr) {
+    policy_->OnAccess(lbn, /*is_write=*/true);
+  }
   if (options_.mode == Mode::kWriteThrough) {
     if (Status s = disk_->Write(lbn, token); !IsOk(s)) {
       return s;
     }
-    return InsertBlock(lbn, token, /*dirty=*/false);
+    return InsertBlock(lbn, token, /*dirty=*/false, AdmissionOp::kWriteClean);
   }
-  return InsertBlock(lbn, token, /*dirty=*/true);
+  return InsertBlock(lbn, token, /*dirty=*/true, AdmissionOp::kWriteDirty);
 }
 
 Status NativeCacheManager::FlushAll() {

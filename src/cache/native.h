@@ -27,6 +27,7 @@
 
 #include "src/cache/cache_manager.h"
 #include "src/disk/disk_model.h"
+#include "src/policy/admission_policy.h"
 #include "src/ssd/ssd_ftl.h"
 
 namespace flashtier {
@@ -47,6 +48,10 @@ class NativeCacheManager final : public CacheManager {
     // paper's manager only batches *sequential* updates, so random dirty
     // traffic flushes nearly per-update.
     uint32_t metadata_batch = 2;
+    // Consulted before every *new* insertion (table hits keep their slot);
+    // rejected dirty insertions go straight to disk, rejected clean ones are
+    // simply not cached. nullptr admits everything with zero policy calls.
+    AdmissionPolicy* admission = nullptr;
   };
 
   // `ssd` must expose at least cache_pages + kMetadataRegionPages logical
@@ -57,6 +62,8 @@ class NativeCacheManager final : public CacheManager {
 
   Status Read(Lbn lbn, uint64_t* token) override;
   Status Write(Lbn lbn, uint64_t token) override;
+
+  void set_admission_policy(AdmissionPolicy* policy) override { policy_ = policy; }
 
   size_t HostMemoryUsage() const override;
   const ManagerStats& stats() const override { return stats_; }
@@ -98,7 +105,7 @@ class NativeCacheManager final : public CacheManager {
   void LruPushFront(uint32_t set, uint16_t way);
   // Allocates a way in the set, evicting the LRU entry if needed.
   Status AllocateWay(uint32_t set, uint16_t* way);
-  Status InsertBlock(Lbn lbn, uint64_t token, bool dirty);
+  Status InsertBlock(Lbn lbn, uint64_t token, bool dirty, AdmissionOp op);
   Status WriteBackSlot(uint32_t set, uint16_t way);
   Status CleanSet(uint32_t set);
   // Records a dirty-metadata state change; flushes a metadata page to the
@@ -107,6 +114,7 @@ class NativeCacheManager final : public CacheManager {
 
   SsdFtl* ssd_;
   DiskModel* disk_;
+  AdmissionPolicy* policy_;
   Options options_;
   uint64_t cache_pages_;
   uint32_t sets_;

@@ -7,6 +7,7 @@ namespace flashtier {
 WriteBackManager::WriteBackManager(SscDevice* ssc, DiskModel* disk, const Options& options)
     : ssc_(ssc),
       disk_(disk),
+      policy_(options.admission),
       options_(options),
       threshold_blocks_(std::max<uint64_t>(
           1, static_cast<uint64_t>(static_cast<double>(ssc->capacity_pages()) *
@@ -15,6 +16,9 @@ WriteBackManager::WriteBackManager(SscDevice* ssc, DiskModel* disk, const Option
 
 Status WriteBackManager::Read(Lbn lbn, uint64_t* token) {
   ++stats_.reads;
+  if (policy_ != nullptr) {
+    policy_->OnAccess(lbn, /*is_write=*/false);
+  }
   Status s = ssc_->Read(lbn, token);
   if (IsOk(s)) {
     ++stats_.read_hits;
@@ -40,10 +44,19 @@ Status WriteBackManager::Read(Lbn lbn, uint64_t* token) {
   }
   // A medium failure while populating the cache does not fail the miss — the
   // data is already in hand from disk, and no stale version existed (the
-  // read above said not-present).
-  if (Status cs = ssc_->WriteClean(lbn, fetched);
-      !IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError) {
-    return cs;
+  // read above said not-present). A rejected fill serves from disk uncached,
+  // saving the flash write.
+  if (policy_ == nullptr ||
+      policy_->ShouldAdmit(lbn, AdmissionOp::kReadFill, AdmissionContext{})) {
+    const Status cs = ssc_->WriteClean(lbn, fetched);
+    if (!IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError) {
+      return cs;
+    }
+    if (policy_ != nullptr && IsOk(cs)) {
+      policy_->OnAdmit(lbn);
+    }
+  } else {
+    policy_->OnReject(lbn);
   }
   if (token != nullptr) {
     *token = fetched;
@@ -53,8 +66,30 @@ Status WriteBackManager::Read(Lbn lbn, uint64_t* token) {
 
 Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
   ++stats_.writes;
+  if (policy_ != nullptr) {
+    policy_->OnAccess(lbn, /*is_write=*/true);
+  }
   if (degraded_ && (++degraded_write_count_ % kDegradedProbeInterval) != 0) {
     return PassThroughWrite(lbn, token);
+  }
+  if (policy_ != nullptr) {
+    AdmissionContext ctx;
+    ctx.resident = dirty_table_.Contains(lbn);
+    if (!policy_->ShouldAdmit(lbn, AdmissionOp::kWriteDirty, ctx)) {
+      // Demoted to write-around: the newest data goes to disk, and any
+      // cached version (resident or stale) must go so it can never surface.
+      if (Status ds = disk_->Write(lbn, token); !IsOk(ds)) {
+        return ds;
+      }
+      if (Status es = ssc_->Evict(lbn); !IsOk(es)) {
+        return es;
+      }
+      dirty_table_.Erase(lbn);
+      checksums_.erase(lbn);
+      ++stats_.evicts;
+      policy_->OnReject(lbn);
+      return Status::kOk;
+    }
   }
   Status s = ssc_->WriteDirty(lbn, token);
   // The SSC can run out of physical space with the dirty table still under
@@ -81,6 +116,9 @@ Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
     }
     dirty_table_.Erase(lbn);
     ++stats_.evicts;
+    if (policy_ != nullptr) {
+      policy_->OnEvict(lbn);
+    }
     return Status::kOk;
   }
   if (s == Status::kIoError) {
@@ -99,6 +137,9 @@ Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
   }
   consecutive_write_failures_ = 0;
   degraded_ = false;  // a successful probe re-engages the cache
+  if (policy_ != nullptr) {
+    policy_->OnAdmit(lbn);
+  }
   dirty_table_.Touch(lbn);
   if (options_.verify_checksums) {
     checksums_[lbn] = token;
@@ -164,6 +205,9 @@ Status WriteBackManager::CleanRun(Lbn seed) {
         return s;
       }
       ++stats_.evicts;
+      if (policy_ != nullptr) {
+        policy_->OnEvict(lbn);
+      }
     } else {
       if (Status s = ssc_->Clean(lbn); !IsOk(s)) {
         return s;
@@ -189,6 +233,9 @@ Status WriteBackManager::PassThroughWrite(Lbn lbn, uint64_t token) {
   dirty_table_.Erase(lbn);
   checksums_.erase(lbn);
   ++stats_.pass_through_writes;
+  if (policy_ != nullptr) {
+    policy_->OnEvict(lbn);
+  }
   return Status::kOk;
 }
 

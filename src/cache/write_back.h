@@ -21,6 +21,7 @@
 #include "src/cache/cache_manager.h"
 #include "src/cache/dirty_table.h"
 #include "src/disk/disk_model.h"
+#include "src/policy/admission_policy.h"
 #include "src/ssc/ssc_device.h"
 
 namespace flashtier {
@@ -41,6 +42,10 @@ class WriteBackManager final : public CacheManager {
     // ("the cache manager can leave data dirty and explicitly evict selected
     // victim blocks" — the paper describes but does not use this policy).
     bool explicit_eviction = false;
+    // Consulted before every cache insertion; rejected writes go disk-only
+    // (write-around) and rejected read fills serve from disk uncached.
+    // nullptr admits everything with zero policy calls.
+    AdmissionPolicy* admission = nullptr;
   };
 
   WriteBackManager(SscDevice* ssc, DiskModel* disk, const Options& options);
@@ -49,6 +54,8 @@ class WriteBackManager final : public CacheManager {
 
   Status Read(Lbn lbn, uint64_t* token) override;
   Status Write(Lbn lbn, uint64_t token) override;
+
+  void set_admission_policy(AdmissionPolicy* policy) override { policy_ = policy; }
 
   size_t HostMemoryUsage() const override {
     return dirty_table_.MemoryUsage() +
@@ -90,6 +97,7 @@ class WriteBackManager final : public CacheManager {
 
   SscDevice* ssc_;
   DiskModel* disk_;
+  AdmissionPolicy* policy_;
   Options options_;
   uint64_t threshold_blocks_;
   DirtyTable dirty_table_;

@@ -4,6 +4,9 @@ namespace flashtier {
 
 Status WriteThroughManager::Read(Lbn lbn, uint64_t* token) {
   ++stats_.reads;
+  if (policy_ != nullptr) {
+    policy_->OnAccess(lbn, /*is_write=*/false);
+  }
   Status s = ssc_->Read(lbn, token);
   if (IsOk(s)) {
     ++stats_.read_hits;
@@ -23,10 +26,21 @@ Status WriteThroughManager::Read(Lbn lbn, uint64_t* token) {
     return ds;
   }
   // Populate the cache with the miss; if the SSC is out of space (or the
-  // flash write fails) the miss still succeeds from disk.
-  if (Status cs = ssc_->WriteClean(lbn, fetched);
-      !IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError) {
-    return cs;
+  // flash write fails) the miss still succeeds from disk. The fill is also
+  // where admission control bites: a rejected fill serves from disk and
+  // costs no flash write (the SSC said not-present, so nothing stale is
+  // cached that would need evicting).
+  if (policy_ == nullptr ||
+      policy_->ShouldAdmit(lbn, AdmissionOp::kReadFill, AdmissionContext{})) {
+    const Status cs = ssc_->WriteClean(lbn, fetched);
+    if (!IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError) {
+      return cs;
+    }
+    if (policy_ != nullptr && IsOk(cs)) {
+      policy_->OnAdmit(lbn);
+    }
+  } else {
+    policy_->OnReject(lbn);
   }
   if (token != nullptr) {
     *token = fetched;
@@ -36,6 +50,9 @@ Status WriteThroughManager::Read(Lbn lbn, uint64_t* token) {
 
 Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
   ++stats_.writes;
+  if (policy_ != nullptr) {
+    policy_->OnAccess(lbn, /*is_write=*/true);
+  }
   if (Status ds = disk_->Write(lbn, token); !IsOk(ds)) {
     return ds;
   }
@@ -44,7 +61,21 @@ Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
     // stale cached copy can ever surface.
     ++stats_.pass_through_writes;
     ++stats_.evicts;
+    if (policy_ != nullptr) {
+      policy_->OnEvict(lbn);
+    }
     return ssc_->Evict(lbn);
+  }
+  if (policy_ != nullptr &&
+      !policy_->ShouldAdmit(lbn, AdmissionOp::kWriteClean, AdmissionContext{})) {
+    // Demoted to disk-only: same obligation as any other non-cached write —
+    // the old version, if any, must go (Section 3.1).
+    ++stats_.evicts;
+    if (Status es = ssc_->Evict(lbn); !IsOk(es)) {
+      return es;
+    }
+    policy_->OnReject(lbn);
+    return Status::kOk;
   }
   Status cs = ssc_->WriteClean(lbn, token);
   if (cs == Status::kNoSpace) {
@@ -52,6 +83,9 @@ Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
     // manager "must either evict the old data from the SSC or write the new
     // data to it", Section 3.1).
     ++stats_.evicts;
+    if (policy_ != nullptr) {
+      policy_->OnEvict(lbn);
+    }
     cs = ssc_->Evict(lbn);
   } else if (cs == Status::kIoError) {
     // Flash failure that survived the SSC's retries. The host write already
@@ -64,10 +98,16 @@ Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
     }
     ++stats_.pass_through_writes;
     ++stats_.evicts;
+    if (policy_ != nullptr) {
+      policy_->OnEvict(lbn);
+    }
     return ssc_->Evict(lbn);
   } else if (IsOk(cs)) {
     consecutive_write_failures_ = 0;
     degraded_ = false;  // a successful probe re-engages the cache
+    if (policy_ != nullptr) {
+      policy_->OnAdmit(lbn);
+    }
   }
   return cs;
 }

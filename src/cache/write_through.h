@@ -11,16 +11,20 @@
 
 #include "src/cache/cache_manager.h"
 #include "src/disk/disk_model.h"
+#include "src/policy/admission_policy.h"
 #include "src/ssc/ssc_device.h"
 
 namespace flashtier {
 
 class WriteThroughManager final : public CacheManager {
  public:
-  WriteThroughManager(SscDevice* ssc, DiskModel* disk) : ssc_(ssc), disk_(disk) {}
+  WriteThroughManager(SscDevice* ssc, DiskModel* disk, AdmissionPolicy* admission = nullptr)
+      : ssc_(ssc), disk_(disk), policy_(admission) {}
 
   Status Read(Lbn lbn, uint64_t* token) override;
   Status Write(Lbn lbn, uint64_t token) override;
+
+  void set_admission_policy(AdmissionPolicy* policy) override { policy_ = policy; }
 
   // "The manager stores no data about cached blocks" — Section 4.4.
   size_t HostMemoryUsage() const override { return 0; }
@@ -37,6 +41,7 @@ class WriteThroughManager final : public CacheManager {
 
   SscDevice* ssc_;
   DiskModel* disk_;
+  AdmissionPolicy* policy_;
   bool degraded_ = false;
   uint32_t consecutive_write_failures_ = 0;
   uint64_t degraded_write_count_ = 0;

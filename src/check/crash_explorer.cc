@@ -120,6 +120,16 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     sscs.push_back(std::make_unique<SscDevice>(config, &clock));
   }
   const auto dev = [&](Lbn lbn) -> SscDevice& { return *sscs[router.ShardOf(lbn)]; };
+  // One admission policy per shard, exactly as FlashTierSystem wires them.
+  // Every trial rebuilds the policies from the same seeded config, so the
+  // decision sequence is identical across crash points.
+  std::vector<std::unique_ptr<AdmissionPolicy>> policies;
+  policies.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    policies.push_back(
+        MakeAdmissionPolicy(ShardPolicyConfig(options_.admission, shard_count, i), &clock));
+  }
+  const auto pol = [&](Lbn lbn) -> AdmissionPolicy& { return *policies[router.ShardOf(lbn)]; };
   std::vector<ShadowEntry> shadow(options_.address_blocks);
   std::vector<std::string> violations;
 
@@ -148,13 +158,38 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
 
   bool crashed = false;
   size_t in_flight = script.size();
+  // Effective kind of the op in flight at the crash: a rejected write runs
+  // (and may crash inside) the bypass eviction, not the write.
+  OpKind in_flight_kind = OpKind::kCollect;
   for (size_t i = 0; i < script.size() && !crashed; ++i) {
     const ScriptedOp& op = script[i];
     ShadowEntry& entry = op.kind == OpKind::kCollect ? shadow[0] : shadow[op.lbn];
+
+    // Admission: writes consult the shard's policy first, exactly like the
+    // cache managers. A reject demotes the insertion to an eviction of any
+    // cached copy — the data itself would go to the backing disk, which this
+    // harness does not model, so the block must afterwards read not-present.
+    OpKind effective = op.kind;
+    bool rejected = false;
+    if (op.kind == OpKind::kWriteDirty || op.kind == OpKind::kWriteClean) {
+      AdmissionPolicy& p = pol(op.lbn);
+      p.OnAccess(op.lbn, /*is_write=*/true);
+      AdmissionContext ctx;
+      ctx.resident = entry.state == ShadowState::kDirty;
+      const AdmissionOp aop = op.kind == OpKind::kWriteDirty ? AdmissionOp::kWriteDirty
+                                                             : AdmissionOp::kWriteClean;
+      if (!p.ShouldAdmit(op.lbn, aop, ctx)) {
+        effective = OpKind::kEvict;
+        rejected = true;
+      }
+    } else if (op.kind == OpKind::kRead) {
+      pol(op.lbn).OnAccess(op.lbn, /*is_write=*/false);
+    }
+
     Status s = Status::kOk;
     uint64_t read_token = 0;
     try {
-      switch (op.kind) {
+      switch (effective) {
         case OpKind::kWriteDirty:
           s = dev(op.lbn).WriteDirty(op.lbn, op.token);
           break;
@@ -179,13 +214,37 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     } catch (const CrashInjected&) {
       crashed = true;
       in_flight = i;
+      in_flight_kind = effective;
+      // An admitted write interrupted by the crash may still have landed
+      // durably (that is the point of exploring the commit point inside it),
+      // while the OnAdmit that would have cleared any old reject record
+      // never ran. A real host rebuilds policy state from scratch after a
+      // crash; clear the record here so the post-recovery rejected-block-
+      // absent audit never indicts a legitimately admitted block.
+      if (!rejected &&
+          (op.kind == OpKind::kWriteDirty || op.kind == OpKind::kWriteClean)) {
+        pol(op.lbn).OnAdmit(op.lbn);
+      }
       break;
+    }
+
+    // Policy bookkeeping, mirroring the managers: exactly one of
+    // OnAdmit/OnReject fires once the insertion (or its bypass) completed;
+    // explicit evictions are reported through OnEvict.
+    if (rejected) {
+      pol(op.lbn).OnReject(op.lbn);
+    } else if ((op.kind == OpKind::kWriteDirty || op.kind == OpKind::kWriteClean) && IsOk(s)) {
+      pol(op.lbn).OnAdmit(op.lbn);
+    } else if (op.kind == OpKind::kEvict) {
+      pol(op.lbn).OnEvict(op.lbn);
     }
 
     // The operation completed: it is acknowledged, so the guarantees attach.
     // Verify read-backs against the shadow model as we go (a pre-crash stale
     // read would be a plain FTL bug, worth catching in the same harness).
-    switch (op.kind) {
+    // A rejected write takes the eviction branch: its acknowledged state is
+    // "not cached" (the data lives on the unmodeled backing disk).
+    switch (effective) {
       case OpKind::kWriteDirty:
         if (IsOk(s)) {
           entry = {ShadowState::kDirty, op.token};
@@ -293,6 +352,12 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     for (const InvariantViolation& v : live.violations) {
       violations.push_back("live-state invariant [" + v.invariant + "] " + v.detail);
     }
+    for (uint32_t i = 0; i < shard_count; ++i) {
+      const CheckReport pr = InvariantChecker::CheckPolicy(*policies[i], sscs[i].get());
+      for (const InvariantViolation& v : pr.violations) {
+        violations.push_back("live-state policy [" + v.invariant + "] " + v.detail);
+      }
+    }
   }
 
   // Power failure (also applied when the script ran to completion: a crash
@@ -312,6 +377,15 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     for (const InvariantViolation& v : structural.violations) {
       violations.push_back("post-recovery invariant [" + v.invariant + "] " + v.detail);
     }
+    // Rejected-block-absent must survive the crash: every acknowledged
+    // reject evicted durably (G3), so no recently rejected LBN may resurface
+    // from recovery. Also re-audits the policies' memory bounds.
+    for (uint32_t i = 0; i < shard_count; ++i) {
+      const CheckReport pr = InvariantChecker::CheckPolicy(*policies[i], sscs[i].get());
+      for (const InvariantViolation& v : pr.violations) {
+        violations.push_back("post-recovery policy [" + v.invariant + "] " + v.detail);
+      }
+    }
   }
 
   // Verify every block of the address space against the shadow model.
@@ -320,8 +394,8 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
   for (Lbn lbn = 0; lbn < options_.address_blocks; ++lbn) {
     const ShadowEntry& entry = shadow[lbn];
     const bool lbn_in_flight = pending != nullptr && pending->lbn == lbn &&
-                               pending->kind != OpKind::kRead &&
-                               pending->kind != OpKind::kCollect;
+                               in_flight_kind != OpKind::kRead &&
+                               in_flight_kind != OpKind::kCollect;
 
     // Allowed outcomes for the *acknowledged* state.
     bool allow_not_present = false;
@@ -350,10 +424,13 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
       require_dirty = false;
       allow_not_present = true;
     }
-    // The in-flight operation may or may not have taken effect.
+    // The in-flight operation may or may not have taken effect. Note this
+    // dispatches on the *effective* kind: a write the policy rejected was
+    // executing an eviction when the crash hit, so its token must never
+    // surface — only "gone or unchanged" is acceptable.
     if (lbn_in_flight) {
       require_dirty = false;
-      switch (pending->kind) {
+      switch (in_flight_kind) {
         case OpKind::kWriteDirty:
         case OpKind::kWriteClean:
           allowed_tokens[allowed_count++] = pending->token;

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/policy/policy_factory.h"
 #include "src/ssc/shard.h"
 #include "src/ssc/ssc_device.h"
 
@@ -69,6 +70,15 @@ struct CrashExplorerOptions {
   // is reported through the SSC's data-loss hook and excused from the
   // post-recovery shadow check; everything else must still hold G1–G3.
   FaultPlan faults;
+
+  // Admission control (--admission): each shard gets an independent
+  // deterministic policy instance consulted before every scripted
+  // write-dirty/write-clean. A rejected write models the manager's bypass
+  // path — the cached copy is evicted instead of overwritten (the data
+  // itself goes to the backing disk, which this harness does not model) —
+  // so every crash point is composed with reject-path evictions, and the
+  // rejected-block-absent audit runs on the live and the recovered device.
+  PolicyConfig admission;
 
   // Test hook: make Recover() drop the log tail, which must surface as G1/G2
   // violations (proves the checker detects a broken recovery path).

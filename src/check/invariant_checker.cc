@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/cache/write_back.h"
+#include "src/policy/admission_policy.h"
 #include "src/ssc/persist.h"
 #include "src/ssc/shard.h"
 #include "src/ssc/ssc_device.h"
@@ -453,6 +454,44 @@ CheckReport InvariantChecker::CheckSharded(const std::vector<const SscDevice*>& 
         if ((e.present_bits >> off) & 1u) {
           expect_here(logical * ppb + off, "block-map");
         }
+      }
+    });
+  }
+  return report;
+}
+
+bool InvariantChecker::SscHolds(const SscDevice& ssc, uint64_t lbn) {
+  if (ssc.page_map_.Find(lbn) != nullptr) {
+    return true;
+  }
+  const uint32_t ppb = ssc.device_->geometry().pages_per_block;
+  const SscDevice::BlockEntry* e = ssc.block_map_.Find(lbn / ppb);
+  return e != nullptr && ((e->present_bits >> (lbn % ppb)) & 1u) != 0;
+}
+
+CheckReport InvariantChecker::CheckPolicy(const AdmissionPolicy& policy, const SscDevice* ssc) {
+  CheckReport report;
+
+  // Bounded memory: every policy structure has a configured ceiling; actual
+  // usage above it means a table or sketch grew past its capacity.
+  ++report.checks_run;
+  if (policy.MemoryUsage() > policy.MemoryBound()) {
+    report.Add("policy.memory-bound",
+               Fmt("policy '%.*s' uses %zu bytes, bound %zu",
+                   static_cast<int>(policy.name().size()), policy.name().data(),
+                   policy.MemoryUsage(), policy.MemoryBound()));
+  }
+
+  // Rejected-block-absent: a reject either found nothing cached or evicted
+  // the stale copy (durably — G3), and an admission erases the block from
+  // the rejects window. A rejected LBN present in the SSC therefore means
+  // the bypass path leaked a mapping.
+  if (ssc != nullptr) {
+    policy.recent_rejects().ForEach([&](Lbn lbn, uint32_t) {
+      ++report.checks_run;
+      if (SscHolds(*ssc, lbn)) {
+        report.Add("policy.rejected-present",
+                   Fmt("rejected lbn %llu is cached in the SSC", (unsigned long long)lbn));
       }
     });
   }

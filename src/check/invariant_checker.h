@@ -29,6 +29,7 @@
 
 namespace flashtier {
 
+class AdmissionPolicy;
 class CacheManager;
 class PersistenceManager;
 class SscDevice;
@@ -83,8 +84,16 @@ class InvariantChecker {
   static CheckReport CheckSharded(const std::vector<const SscDevice*>& shards,
                                   const ShardRouter& router);
 
+  // Audits an admission policy (DESIGN.md §5f): its state must stay within
+  // the configured memory bound, and — when the policy guards an SSC — every
+  // LBN in its recent-rejects window must be absent from the SSC's maps (a
+  // reject path either evicted the stale copy or found nothing cached, and
+  // evicts are durable, so presence would mean the bypass leaked).
+  static CheckReport CheckPolicy(const AdmissionPolicy& policy, const SscDevice* ssc);
+
  private:
   static CheckReport CheckSscOnly(const SscDevice& ssc);
+  static bool SscHolds(const SscDevice& ssc, uint64_t lbn);
 };
 
 }  // namespace flashtier

@@ -46,6 +46,11 @@ FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
     auto shard = std::make_unique<Shard>();
     const uint64_t pages = base_pages + (i < extra ? 1 : 0);
     shard->disk = std::make_unique<DiskModel>(config.disk, &shard->clock);
+    // Each shard owns an independent policy instance driven only from its
+    // own sequential operation stream (and its own virtual clock), so
+    // admission decisions stay bit-identical across replay thread counts.
+    shard->policy = MakeAdmissionPolicy(
+        ShardPolicyConfig(config.admission, shard_count, i), &shard->clock);
 
     if (SystemUsesSsc(config.type)) {
       SscConfig ssc_config;
@@ -61,13 +66,14 @@ FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
       if (SystemIsWriteBack(config.type)) {
         WriteBackManager::Options opts;
         opts.dirty_threshold = config.dirty_threshold;
+        opts.admission = shard->policy.get();
         auto manager =
             std::make_unique<WriteBackManager>(shard->ssc.get(), shard->disk.get(), opts);
         shard->wb_manager = manager.get();
         shard->manager = std::move(manager);
       } else {
-        shard->manager =
-            std::make_unique<WriteThroughManager>(shard->ssc.get(), shard->disk.get());
+        shard->manager = std::make_unique<WriteThroughManager>(
+            shard->ssc.get(), shard->disk.get(), shard->policy.get());
       }
     } else {
       SsdFtl::Options ssd_opts;
@@ -79,6 +85,7 @@ FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
                                                  : NativeCacheManager::Mode::kWriteThrough;
       opts.persist_metadata = config.native_persist_metadata;
       opts.dirty_threshold = config.dirty_threshold;
+      opts.admission = shard->policy.get();
       auto manager = std::make_unique<NativeCacheManager>(shard->ssd.get(), shard->disk.get(),
                                                           pages, opts);
       shard->native_manager = manager.get();
@@ -127,6 +134,16 @@ FaultStats FlashTierSystem::AggregateFaultStats() const {
       out.Merge(shard->ssc->device().fault_stats());
     } else if (shard->ssd != nullptr) {
       out.Merge(shard->ssd->device().fault_stats());
+    }
+  }
+  return out;
+}
+
+PolicyStats FlashTierSystem::AggregatePolicyStats() const {
+  PolicyStats out;
+  for (const auto& shard : shards_) {
+    if (shard->policy != nullptr) {
+      out.Merge(shard->policy->stats());
     }
   }
   return out;

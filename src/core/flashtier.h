@@ -25,6 +25,7 @@
 #include "src/cache/write_back.h"
 #include "src/cache/write_through.h"
 #include "src/disk/disk_model.h"
+#include "src/policy/policy_factory.h"
 #include "src/ssc/shard.h"
 #include "src/ssc/ssc_device.h"
 #include "src/ssd/ssd_ftl.h"
@@ -56,6 +57,11 @@ struct SystemConfig {
   bool native_persist_metadata = true;
   // Independent channel shards; 1 keeps the classic monolithic system.
   uint32_t shards = 1;
+  // Admission control (DESIGN.md §5f). Capacity-like knobs are totals and
+  // are split across shards; each shard owns an independent deterministic
+  // policy instance. The default AdmitAll reproduces the pre-policy system
+  // bit for bit.
+  PolicyConfig admission;
 };
 
 // Owns every component of one simulated storage system.
@@ -67,6 +73,7 @@ class FlashTierSystem {
     std::unique_ptr<DiskModel> disk;
     std::unique_ptr<SscDevice> ssc;  // null unless the config uses an SSC
     std::unique_ptr<SsdFtl> ssd;    // null unless the config uses an SSD
+    std::unique_ptr<AdmissionPolicy> policy;
     std::unique_ptr<CacheManager> manager;
     WriteBackManager* wb_manager = nullptr;
     NativeCacheManager* native_manager = nullptr;
@@ -101,6 +108,9 @@ class FlashTierSystem {
   SsdFtl* ssd() { return shards_[0]->ssd.get(); }
   WriteBackManager* write_back_manager() { return shards_[0]->wb_manager; }
   NativeCacheManager* native_manager() { return shards_[0]->native_manager; }
+  AdmissionPolicy* admission_policy() { return shards_[0]->policy.get(); }
+
+  const char* admission_name() const { return AdmissionKindName(config_.admission.kind); }
 
   const SystemConfig& config() const { return config_; }
 
@@ -112,6 +122,7 @@ class FlashTierSystem {
   FaultStats AggregateFaultStats() const;
   // Zero-initialized when no shard has an SSC.
   PersistStats AggregatePersistStats() const;
+  PolicyStats AggregatePolicyStats() const;
 
   // Total device-resident mapping memory (Table 4 "Device" column).
   size_t DeviceMemoryUsage() const;

@@ -1,0 +1,91 @@
+// Bounded LRU table of LBN -> small counter, the building block of the
+// admission policies: GhostLru keeps recently *missed* blocks in one to count
+// re-misses, and every policy keeps recently *rejected* blocks in one so the
+// regret counter (and the rejected-block-absent audit) has a window to look
+// at. The table is deterministic — iteration order is recency order — and its
+// memory is strictly bounded: at `capacity` entries the LRU entry is evicted
+// before a new one is inserted.
+
+#ifndef FLASHTIER_POLICY_GHOST_TABLE_H_
+#define FLASHTIER_POLICY_GHOST_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/flash/types.h"
+
+namespace flashtier {
+
+class GhostTable {
+ public:
+  explicit GhostTable(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Bumps `lbn` to most-recently-used and increments its counter (inserting
+  // it at 1), evicting the least-recently-used entry when the table is full.
+  // Returns the counter after the increment.
+  uint32_t Touch(Lbn lbn) {
+    auto it = index_.find(lbn);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return ++it->second->count;
+    }
+    if (lru_.size() >= capacity_) {
+      index_.erase(lru_.back().lbn);
+      lru_.pop_back();
+    }
+    lru_.push_front(Node{lbn, 1});
+    index_[lbn] = lru_.begin();
+    return 1;
+  }
+
+  bool Contains(Lbn lbn) const { return index_.count(lbn) != 0; }
+
+  uint32_t Count(Lbn lbn) const {
+    const auto it = index_.find(lbn);
+    return it == index_.end() ? 0 : it->second->count;
+  }
+
+  void Erase(Lbn lbn) {
+    auto it = index_.find(lbn);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Visits (lbn, count) in recency order, most recent first.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Node& node : lru_) {
+      fn(node.lbn, node.count);
+    }
+  }
+
+  // Modeled bytes per entry: the node payload plus list links and one hash
+  // bucket slot. A fixed constant so MemoryBound is a hard capacity * entry
+  // ceiling independent of allocator behaviour.
+  static constexpr size_t kEntryBytes =
+      sizeof(Lbn) + sizeof(uint32_t) + 4 * sizeof(void*);
+
+  size_t MemoryUsage() const { return lru_.size() * kEntryBytes; }
+  size_t MemoryBound() const { return capacity_ * kEntryBytes; }
+
+ private:
+  struct Node {
+    Lbn lbn;
+    uint32_t count;
+  };
+
+  size_t capacity_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<Lbn, std::list<Node>::iterator> index_;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_POLICY_GHOST_TABLE_H_

@@ -1,0 +1,90 @@
+#include "src/policy/policy_factory.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/policy/frequency_sketch.h"
+#include "src/policy/ghost_lru.h"
+#include "src/policy/write_rate_limiter.h"
+
+namespace flashtier {
+
+const char* AdmissionKindName(AdmissionKind kind) {
+  switch (kind) {
+    case AdmissionKind::kAdmitAll:
+      return "admit-all";
+    case AdmissionKind::kGhostLru:
+      return "ghost-lru";
+    case AdmissionKind::kFrequencySketch:
+      return "freq-sketch";
+    case AdmissionKind::kWriteRateLimiter:
+      return "write-limit";
+  }
+  return "unknown";
+}
+
+bool ParseAdmissionKind(const std::string& name, AdmissionKind* out) {
+  if (name == "admit-all") {
+    *out = AdmissionKind::kAdmitAll;
+  } else if (name == "ghost-lru") {
+    *out = AdmissionKind::kGhostLru;
+  } else if (name == "freq-sketch") {
+    *out = AdmissionKind::kFrequencySketch;
+  } else if (name == "write-limit") {
+    *out = AdmissionKind::kWriteRateLimiter;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* KnownAdmissionNames() {
+  return "admit-all, ghost-lru, freq-sketch, write-limit";
+}
+
+std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(const PolicyConfig& config,
+                                                     const SimClock* clock) {
+  switch (config.kind) {
+    case AdmissionKind::kAdmitAll:
+      return std::make_unique<AdmitAllPolicy>(config.reject_ghost_entries);
+    case AdmissionKind::kGhostLru: {
+      GhostLruPolicy::Options opts;
+      opts.ghost_entries = config.ghost_entries;
+      opts.required_misses = config.ghost_required_misses;
+      return std::make_unique<GhostLruPolicy>(opts, config.reject_ghost_entries);
+    }
+    case AdmissionKind::kFrequencySketch: {
+      FrequencySketchPolicy::Options opts;
+      opts.width = config.sketch_width;
+      opts.rows = config.sketch_rows;
+      opts.admit_threshold = config.sketch_threshold;
+      opts.halve_interval = config.sketch_halve_interval;
+      opts.seed = config.seed;
+      return std::make_unique<FrequencySketchPolicy>(opts, config.reject_ghost_entries);
+    }
+    case AdmissionKind::kWriteRateLimiter: {
+      assert(clock != nullptr);
+      WriteRateLimiterPolicy::Options opts;
+      opts.rate_pages_per_sec = config.write_rate_pages_per_sec;
+      opts.burst_pages = config.write_burst_pages;
+      return std::make_unique<WriteRateLimiterPolicy>(opts, clock,
+                                                      config.reject_ghost_entries);
+    }
+  }
+  return std::make_unique<AdmitAllPolicy>(config.reject_ghost_entries);
+}
+
+PolicyConfig ShardPolicyConfig(const PolicyConfig& config, uint32_t shards,
+                               uint32_t shard_index) {
+  PolicyConfig out = config;
+  const uint32_t n = std::max<uint32_t>(1, shards);
+  out.reject_ghost_entries = std::max<uint32_t>(64, config.reject_ghost_entries / n);
+  out.ghost_entries = std::max<uint32_t>(64, config.ghost_entries / n);
+  out.sketch_width = std::max<uint32_t>(1024, config.sketch_width / n);
+  out.write_rate_pages_per_sec = config.write_rate_pages_per_sec / n;
+  out.write_burst_pages = std::max(1.0, config.write_burst_pages / n);
+  out.seed = config.seed + 0x9e3779b97f4a7c15ull * shard_index;
+  return out;
+}
+
+}  // namespace flashtier

@@ -9,6 +9,21 @@ namespace flashtier {
 void TraceStats::Add(const TraceRecord& record) {
   ++total_ops_;
   BlockCount& c = counts_[record.lbn];
+  if (c.accesses != 0) {
+    // Interval since this block's previous access, in trace records
+    // (>= 1; consecutive accesses to the same block land in bucket 0).
+    const uint64_t interval = total_ops_ - c.last_seen;
+    size_t bucket = 0;
+    while ((interval >> (bucket + 1)) != 0) {
+      ++bucket;
+    }
+    if (reref_hist_.size() <= bucket) {
+      reref_hist_.resize(bucket + 1, 0);
+    }
+    ++reref_hist_[bucket];
+    ++reref_accesses_;
+  }
+  c.last_seen = total_ops_;
   ++c.accesses;
   if (record.op == TraceOp::kWrite) {
     ++writes_;
@@ -118,6 +133,16 @@ std::vector<uint64_t> TraceStats::RegionDensities(double top_fraction) const {
   }
   std::sort(densities.begin(), densities.end());
   return densities;
+}
+
+uint64_t TraceStats::SingleAccessBlocks() const {
+  uint64_t n = 0;
+  for (const auto& [lbn, c] : counts_) {
+    if (c.accesses == 1) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 double TraceStats::FractionOfRegionsBelow(double top_fraction, double percent_of_region) const {

@@ -48,16 +48,32 @@ class TraceStats {
   // `percent_of_region` percent of the region size.
   double FractionOfRegionsBelow(double top_fraction, double percent_of_region) const;
 
+  // Re-reference intervals, the admission-control view of a trace: for every
+  // access to a previously seen block, the number of trace records since
+  // that block's prior access, bucketed by power of two — bucket i counts
+  // intervals in [2^i, 2^(i+1)). A trace whose mass sits in small buckets
+  // rewards second-hit admission (a short ghost table recognizes the reuse);
+  // mass in the large buckets plus many single-access blocks is traffic a
+  // selective policy can keep out of flash at little hit-rate cost.
+  const std::vector<uint64_t>& RerefIntervalHistogram() const { return reref_hist_; }
+  // Accesses that had a prior reference (the histogram's total mass).
+  uint64_t reref_accesses() const { return reref_accesses_; }
+  // Blocks referenced exactly once — cache fills that can never hit.
+  uint64_t SingleAccessBlocks() const;
+
  private:
   struct BlockCount {
     uint64_t accesses = 0;
     uint64_t writes = 0;
+    uint64_t last_seen = 0;  // 1-based index of this block's latest access
   };
 
   std::unordered_map<Lbn, BlockCount> counts_;
   uint64_t total_ops_ = 0;
   uint64_t writes_ = 0;
   Lbn max_lbn_ = 0;
+  std::vector<uint64_t> reref_hist_;
+  uint64_t reref_accesses_ = 0;
 };
 
 }  // namespace flashtier

@@ -31,15 +31,29 @@ struct ShardedRun {
   ReplayMetrics metrics;
   ManagerStats manager;
   FtlStats ftl;
+  FlashStats flash;
+  PolicyStats policy;
 };
 
-// Fresh system + fresh workload per run: only `threads` varies.
-ShardedRun RunWith(uint32_t shards, uint32_t threads, SystemType type) {
+// Fresh system + fresh workload per run: only `threads` varies. When
+// `detach_policies` is set, every shard's manager has its admission policy
+// unwired after construction — that is exactly the pre-policy code path, so
+// comparing it against a default admit-all run proves the default is
+// bit-identical to the seed system.
+ShardedRun RunWith(uint32_t shards, uint32_t threads, SystemType type,
+                   const PolicyConfig& admission = PolicyConfig{},
+                   bool detach_policies = false) {
   SystemConfig config;
   config.type = type;
   config.cache_pages = 8192;
   config.shards = shards;
+  config.admission = admission;
   FlashTierSystem system(config);
+  if (detach_policies) {
+    for (uint32_t i = 0; i < system.shard_count(); ++i) {
+      system.shard(i).manager->set_admission_policy(nullptr);
+    }
+  }
   SyntheticWorkload workload(TestProfile());
   ReplayEngine::Options opts;
   opts.warmup_fraction = 0.15;
@@ -50,6 +64,8 @@ ShardedRun RunWith(uint32_t shards, uint32_t threads, SystemType type) {
   run.metrics = engine.Run(workload);
   run.manager = system.AggregateManagerStats();
   run.ftl = system.AggregateFtlStats();
+  run.flash = system.AggregateFlashStats();
+  run.policy = system.AggregatePolicyStats();
   return run;
 }
 
@@ -71,6 +87,13 @@ void ExpectVirtualTimeEqual(const ShardedRun& a, const ShardedRun& b) {
   EXPECT_EQ(a.manager.writebacks, b.manager.writebacks);
   EXPECT_EQ(a.manager.evicts, b.manager.evicts);
   EXPECT_EQ(a.ftl.gc_invocations, b.ftl.gc_invocations);
+  EXPECT_EQ(a.flash.page_writes, b.flash.page_writes);
+  EXPECT_EQ(a.flash.erases, b.flash.erases);
+  EXPECT_EQ(a.policy.admits, b.policy.admits);
+  EXPECT_EQ(a.policy.rejects, b.policy.rejects);
+  EXPECT_EQ(a.policy.ghost_hits, b.policy.ghost_hits);
+  EXPECT_EQ(a.policy.rejected_then_remissed, b.policy.rejected_then_remissed);
+  EXPECT_EQ(a.policy.flash_writes_saved, b.policy.flash_writes_saved);
 }
 
 TEST(ParallelReplayTest, VirtualMetricsIdenticalAcrossThreadCounts) {
@@ -92,6 +115,91 @@ TEST(ParallelReplayTest, WriteThroughAlsoDeterministic) {
   const ShardedRun t4 = RunWith(4, 4, SystemType::kSscRWriteThrough);
   ASSERT_EQ(t1.metrics.stale_reads, 0u);
   ExpectVirtualTimeEqual(t1, t4);
+}
+
+// Every admission policy must honor the determinism contract: per-shard
+// instances driven only by their shard's sequential op stream (and virtual
+// clock), so all counters — including the policy's own — are bit-identical
+// at 1, 4, and 8 replay threads. The write-rate limiter is the acid test:
+// it reads the shard's *virtual* clock, which a wall-clock dependence would
+// break immediately.
+TEST(ParallelReplayTest, PoliciesDeterministicAcrossThreadCounts) {
+  const AdmissionKind kinds[] = {AdmissionKind::kGhostLru, AdmissionKind::kFrequencySketch,
+                                 AdmissionKind::kWriteRateLimiter};
+  for (AdmissionKind kind : kinds) {
+    SCOPED_TRACE(AdmissionKindName(kind));
+    PolicyConfig admission;
+    admission.kind = kind;
+    // Small capacities so the selective policies actually reject in a
+    // 30k-op run.
+    admission.ghost_entries = 2048;
+    admission.sketch_width = 4096;
+    admission.write_rate_pages_per_sec = 500.0;
+    admission.write_burst_pages = 64.0;
+    const ShardedRun t1 = RunWith(8, 1, SystemType::kSscWriteThrough, admission);
+    const ShardedRun t4 = RunWith(8, 4, SystemType::kSscWriteThrough, admission);
+    const ShardedRun t8 = RunWith(8, 8, SystemType::kSscWriteThrough, admission);
+    ASSERT_EQ(t1.metrics.stale_reads, 0u);
+    EXPECT_GT(t1.policy.rejects, 0u);  // the policy must actually bite
+    ExpectVirtualTimeEqual(t1, t4);
+    ExpectVirtualTimeEqual(t1, t8);
+  }
+}
+
+// The default admit-all system must be bit-identical to the pre-policy code
+// path (managers with no policy wired), at every shard and thread count:
+// same virtual time, same device work, same flash writes.
+TEST(ParallelReplayTest, AdmitAllMatchesDetachedPolicyExactly) {
+  for (const uint32_t shards : {1u, 8u}) {
+    SCOPED_TRACE(shards);
+    const ShardedRun with_policy =
+        RunWith(shards, shards, SystemType::kSscWriteBack, PolicyConfig{});
+    const ShardedRun detached = RunWith(shards, shards, SystemType::kSscWriteBack,
+                                        PolicyConfig{}, /*detach_policies=*/true);
+    ASSERT_EQ(with_policy.metrics.stale_reads, 0u);
+    EXPECT_EQ(with_policy.policy.rejects, 0u);
+    EXPECT_GT(with_policy.policy.admits, 0u);  // admit-all still counts admits
+    EXPECT_EQ(detached.policy.admits, 0u);     // detached managers report none
+    // Everything observable about the runs matches, bar the admit counters.
+    EXPECT_EQ(with_policy.metrics.elapsed_us, detached.metrics.elapsed_us);
+    EXPECT_TRUE(with_policy.metrics.response_us == detached.metrics.response_us);
+    EXPECT_EQ(with_policy.manager.read_hits, detached.manager.read_hits);
+    EXPECT_EQ(with_policy.manager.read_misses, detached.manager.read_misses);
+    EXPECT_EQ(with_policy.manager.writebacks, detached.manager.writebacks);
+    EXPECT_EQ(with_policy.manager.evicts, detached.manager.evicts);
+    EXPECT_EQ(with_policy.flash.page_writes, detached.flash.page_writes);
+    EXPECT_EQ(with_policy.flash.erases, detached.flash.erases);
+    EXPECT_EQ(with_policy.ftl.gc_invocations, detached.ftl.gc_invocations);
+  }
+}
+
+// Selective admission must also hold the partition audit and the new policy
+// invariants (memory bound, rejected-block-absent) after a threaded replay.
+TEST(ParallelReplayTest, SelectivePolicyPassesPolicyAudit) {
+  PolicyConfig admission;
+  admission.kind = AdmissionKind::kGhostLru;
+  admission.ghost_entries = 2048;
+  SystemConfig config;
+  config.type = SystemType::kSscWriteThrough;
+  config.cache_pages = 8192;
+  config.shards = 4;
+  config.admission = admission;
+  FlashTierSystem system(config);
+  SyntheticWorkload workload(TestProfile());
+  ReplayEngine::Options opts;
+  opts.warmup_fraction = 0.15;
+  opts.verify = true;
+  opts.threads = 4;
+  ReplayEngine engine(&system, opts);
+  const ReplayMetrics m = engine.Run(workload);
+  ASSERT_EQ(m.stale_reads, 0u);
+  ASSERT_GT(system.AggregatePolicyStats().rejects, 0u);
+  for (uint32_t i = 0; i < system.shard_count(); ++i) {
+    const CheckReport report =
+        InvariantChecker::CheckPolicy(*system.shard(i).policy, system.shard(i).ssc.get());
+    EXPECT_TRUE(report.ok()) << "shard " << i << ": " << report.ToString();
+    EXPECT_GT(report.checks_run, 0u);
+  }
 }
 
 TEST(ParallelReplayTest, ThreadsClampedToShardCount) {

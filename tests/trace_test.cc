@@ -204,6 +204,45 @@ TEST(TraceStatsTest, CountsAndRange) {
   EXPECT_DOUBLE_EQ(stats.write_fraction(), 2.0 / 3.0);
 }
 
+TEST(TraceStatsTest, RerefIntervalHistogramBucketsByPowerOfTwo) {
+  TraceStats stats;
+  // Access pattern: block 1 at records 1, 2, 8; block 2 at record 4 only.
+  stats.Add({1, TraceOp::kRead});  // record 1 (first touch: no interval)
+  stats.Add({1, TraceOp::kRead});  // record 2: interval 1 -> bucket 0
+  stats.Add({9, TraceOp::kRead});  // record 3 (first touch)
+  stats.Add({2, TraceOp::kRead});  // record 4 (first touch)
+  stats.Add({7, TraceOp::kRead});  // record 5
+  stats.Add({8, TraceOp::kRead});  // record 6
+  stats.Add({6, TraceOp::kRead});  // record 7
+  stats.Add({1, TraceOp::kRead});  // record 8: interval 6 -> bucket 2 ([4,8))
+  EXPECT_EQ(stats.reref_accesses(), 2u);
+  const auto& hist = stats.RerefIntervalHistogram();
+  ASSERT_GE(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);  // interval 1
+  EXPECT_EQ(hist[1], 0u);
+  EXPECT_EQ(hist[2], 1u);  // interval 6
+  // Blocks 9, 2, 7, 8, 6 were touched exactly once.
+  EXPECT_EQ(stats.SingleAccessBlocks(), 5u);
+  // Histogram mass + first touches account for every record.
+  EXPECT_EQ(stats.reref_accesses() + stats.unique_blocks(), stats.total_ops());
+}
+
+TEST(TraceStatsTest, ColdTracesShowSingleAccessMass) {
+  // The usr-style profile drives the admission-policy story: a substantial
+  // share of its blocks are touched exactly once, so admitting every fill
+  // buys flash writes that can never pay back.
+  SyntheticWorkload w(TestProfile());
+  TraceStats stats;
+  stats.Consume(w);
+  EXPECT_GT(stats.SingleAccessBlocks(), 0u);
+  EXPECT_GT(stats.reref_accesses(), 0u);
+  uint64_t mass = 0;
+  for (uint64_t bucket : stats.RerefIntervalHistogram()) {
+    mass += bucket;
+  }
+  EXPECT_EQ(mass, stats.reref_accesses());
+}
+
 TEST(TraceStatsTest, TopBlocksOrderedByAccessCount) {
   TraceStats stats;
   for (int i = 0; i < 10; ++i) {

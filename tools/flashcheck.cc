@@ -14,6 +14,7 @@
 //   flashcheck [--ops=600] [--capacity-pages=512] [--address-blocks=1536]
 //              [--shards=1]
 //              [--policy=se-util|se-merge] [--mode=full|relaxed]
+//              [--admission=admit-all|ghost-lru|freq-sketch|write-limit]
 //              [--group-commit-ops=16] [--checkpoint-interval=250]
 //              [--seed=42] [--stride=1] [--max-points=0] [--verbose=false]
 //              [--break-recovery=false] [--no-invariants=false]
@@ -32,11 +33,17 @@
 // --break-retry disables bad-block retirement so injected erase failures
 // leak non-erased blocks into the free list; the invariant checker must
 // then report violations (a self-test that faults are actually detected).
+//
+// --admission puts an admission policy (DESIGN.md §5f) in front of every
+// scripted write, composing reject-path evictions with every crash point
+// and auditing the rejected-block-absent and policy-memory-bound
+// invariants on the live and the recovered device.
 
 #include <cstdio>
 #include <string>
 
 #include "src/check/crash_explorer.h"
+#include "src/policy/policy_factory.h"
 #include "src/util/args.h"
 
 int main(int argc, char** argv) {
@@ -92,6 +99,13 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "flashcheck: unknown --policy '%s' (se-util | se-merge)\n",
                  policy.c_str());
+    return 2;
+  }
+
+  const std::string admission = args.GetString("admission", "admit-all");
+  if (!flashtier::ParseAdmissionKind(admission, &options.admission.kind)) {
+    std::fprintf(stderr, "flashcheck: unknown --admission '%s' (%s)\n", admission.c_str(),
+                 flashtier::KnownAdmissionNames());
     return 2;
   }
 

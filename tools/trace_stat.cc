@@ -60,5 +60,32 @@ int main(int argc, char** argv) {
                                   : 100.0 * static_cast<double>(below) /
                                         static_cast<double>(densities.size()));
   }
+
+  // Re-reference intervals: how quickly blocks come back. This is the view
+  // an admission policy acts on — mass in the small buckets is reuse a
+  // short ghost window can recognize; single-access blocks are cache fills
+  // that can never pay back their flash write.
+  const auto& hist = stats.RerefIntervalHistogram();
+  std::printf("\nre-reference intervals (%" PRIu64 " re-references, records since prior access):\n",
+              stats.reref_accesses());
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < hist.size(); ++b) {
+    if (hist[b] == 0) {
+      continue;
+    }
+    cumulative += hist[b];
+    std::printf("  [2^%-2zu, 2^%-2zu): %10" PRIu64 "  (%5.1f%%, cum %5.1f%%)\n", b, b + 1,
+                hist[b],
+                100.0 * static_cast<double>(hist[b]) / static_cast<double>(stats.reref_accesses()),
+                100.0 * static_cast<double>(cumulative) /
+                    static_cast<double>(stats.reref_accesses()));
+  }
+  const uint64_t single = stats.SingleAccessBlocks();
+  std::printf("never re-referenced: %" PRIu64 " of %" PRIu64 " blocks (%.1f%%)\n", single,
+              stats.unique_blocks(),
+              stats.unique_blocks() == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(single) /
+                        static_cast<double>(stats.unique_blocks()));
   return 0;
 }
