@@ -245,10 +245,20 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
     const PersistStats p = system->AggregatePersistStats();
     std::fprintf(f,
                  ",\"persist\":{\"records_logged\":%llu,\"checkpoints\":%llu,"
-                 "\"corrupt_records_skipped\":%llu,\"checkpoint_fallbacks\":%llu}",
+                 "\"corrupt_records_skipped\":%llu,\"checkpoint_fallbacks\":%llu,"
+                 "\"segment_fallbacks\":%llu,\"forced_checkpoints\":%llu,"
+                 "\"backpressure_stalls\":%llu,\"log_full_events\":%llu,"
+                 "\"checkpoint_load_us\":%llu,\"log_replay_us\":%llu,"
+                 "\"rebuild_us\":%llu,\"last_recovery_us\":%llu}",
                  (unsigned long long)p.records_logged, (unsigned long long)p.checkpoints,
                  (unsigned long long)p.corrupt_records_skipped,
-                 (unsigned long long)p.checkpoint_fallbacks);
+                 (unsigned long long)p.checkpoint_fallbacks,
+                 (unsigned long long)p.segment_fallbacks,
+                 (unsigned long long)p.forced_checkpoints,
+                 (unsigned long long)p.backpressure_stalls,
+                 (unsigned long long)p.log_full_events,
+                 (unsigned long long)p.checkpoint_load_us, (unsigned long long)p.log_replay_us,
+                 (unsigned long long)p.rebuild_us, (unsigned long long)p.last_recovery_us);
   }
   if (has_device) {
     // Raw medium counters: the flash-write economy an admission policy is

@@ -24,14 +24,16 @@ struct DeviceRow {
   double miss_rate = 0;
 };
 
-DeviceRow Run(const WorkloadProfile& profile, SystemType type, const PolicyConfig& admission) {
+DeviceRow Run(const WorkloadProfile& profile, SystemType type, const PolicyConfig& admission,
+              const std::string& stats_json) {
   SystemConfig config;
   config.type = type;
   config.cache_pages = CachePagesFor(profile);
   config.consistency = ConsistencyMode::kNone;
   config.admission = admission;
   FlashTierSystem system(config);
-  ReplayWorkload(profile, config, &system, /*warmup_fraction=*/0.15);
+  const RunResult result = ReplayWorkload(profile, config, &system, /*warmup_fraction=*/0.15);
+  AppendStatsJson(stats_json, "table5", profile, config, &system, result);
   DeviceRow row;
   if (system.ssc() != nullptr) {
     row.erases = system.ssc()->flash_stats().erases;
@@ -65,10 +67,12 @@ int Main(int argc, char** argv) {
   std::printf("%-8s | %9s %9s %9s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s\n", "trace",
               "SSD", "SSC", "SSC-R", "SSD", "SSC", "SSC-R", "SSD", "SSC", "SSC-R", "SSD",
               "SSC", "SSC-R");
+  const std::string stats_json = args.GetString("stats-json", "");
   for (const WorkloadProfile& profile : BenchProfiles(args)) {
-    const DeviceRow ssd = Run(profile, SystemType::kNativeWriteThrough, PolicyConfig{});
-    const DeviceRow ssc = Run(profile, SystemType::kSscWriteThrough, admission);
-    const DeviceRow sscr = Run(profile, SystemType::kSscRWriteThrough, admission);
+    const DeviceRow ssd =
+        Run(profile, SystemType::kNativeWriteThrough, PolicyConfig{}, stats_json);
+    const DeviceRow ssc = Run(profile, SystemType::kSscWriteThrough, admission, stats_json);
+    const DeviceRow sscr = Run(profile, SystemType::kSscRWriteThrough, admission, stats_json);
     std::printf("%-8s | %9" PRIu64 " %9" PRIu64 " %9" PRIu64
                 " | %6u %6u %6u | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
                 profile.name.c_str(), ssd.erases, ssc.erases, sscr.erases, ssd.wear_diff,

@@ -45,11 +45,13 @@ Status WriteBackManager::Read(Lbn lbn, uint64_t* token) {
   // A medium failure while populating the cache does not fail the miss — the
   // data is already in hand from disk, and no stale version existed (the
   // read above said not-present). A rejected fill serves from disk uncached,
-  // saving the flash write.
+  // saving the flash write; a backpressured fill is likewise skipped rather
+  // than stalled (it is an optimization, not an obligation).
   if (policy_ == nullptr ||
       policy_->ShouldAdmit(lbn, AdmissionOp::kReadFill, AdmissionContext{})) {
     const Status cs = ssc_->WriteClean(lbn, fetched);
-    if (!IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError) {
+    if (!IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError &&
+        cs != Status::kBackpressure) {
       return cs;
     }
     if (policy_ != nullptr && IsOk(cs)) {
@@ -91,7 +93,19 @@ Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
       return Status::kOk;
     }
   }
-  Status s = ssc_->WriteDirty(lbn, token);
+  // Log-region backpressure surfaces as a *bounded stall*: each drain forces
+  // a checkpoint (truncating the log), so one retry normally succeeds. The
+  // bound guarantees the host write can never block indefinitely.
+  const auto write_with_drain = [this](Lbn b, uint64_t t) {
+    Status ws = ssc_->WriteDirty(b, t);
+    for (uint32_t attempt = 0;
+         ws == Status::kBackpressure && attempt < kBackpressureRetryLimit; ++attempt) {
+      ssc_->DrainLog();
+      ws = ssc_->WriteDirty(b, t);
+    }
+    return ws;
+  };
+  Status s = write_with_drain(lbn, token);
   // The SSC can run out of physical space with the dirty table still under
   // threshold (sparsely-used erase blocks hold fewer cached pages than their
   // capacity). Clean LRU runs — making blocks evictable — and retry.
@@ -103,7 +117,12 @@ Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
     if (Status cs = CleanRun(victim); !IsOk(cs)) {
       return cs;
     }
-    s = ssc_->WriteDirty(lbn, token);
+    s = write_with_drain(lbn, token);
+  }
+  if (s == Status::kBackpressure) {
+    // The stalls above could not free the region; the write goes around the
+    // cache rather than blocking (the stale cached copy is evicted below).
+    return PassThroughWrite(lbn, token);
   }
   if (s == Status::kNoSpace) {
     // Write-around: the cache has no evictable space at all. Put the newest

@@ -87,6 +87,9 @@ class WriteBackManager final : public CacheManager {
 
   static constexpr uint32_t kDegradedTripLimit = 4;
   static constexpr uint32_t kDegradedProbeInterval = 64;
+  // Bounded backpressure stall: how many drain-and-retry rounds a write
+  // spends before going around the cache.
+  static constexpr uint32_t kBackpressureRetryLimit = 4;
 
   // Cleans LRU dirty blocks until the table is below the threshold.
   Status CleanToThreshold();

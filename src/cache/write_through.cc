@@ -33,7 +33,8 @@ Status WriteThroughManager::Read(Lbn lbn, uint64_t* token) {
   if (policy_ == nullptr ||
       policy_->ShouldAdmit(lbn, AdmissionOp::kReadFill, AdmissionContext{})) {
     const Status cs = ssc_->WriteClean(lbn, fetched);
-    if (!IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError) {
+    if (!IsOk(cs) && cs != Status::kNoSpace && cs != Status::kIoError &&
+        cs != Status::kBackpressure) {
       return cs;
     }
     if (policy_ != nullptr && IsOk(cs)) {
@@ -87,6 +88,17 @@ Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
       policy_->OnEvict(lbn);
     }
     cs = ssc_->Evict(lbn);
+  } else if (cs == Status::kBackpressure) {
+    // The SSC's log region is full. Write-through holds no dirty state, so
+    // there is nothing worth stalling for: the disk already has the data.
+    // Surface backpressure as a pass-through write — evict any stale copy
+    // (the evict's own log append drains through the forced checkpoint).
+    ++stats_.pass_through_writes;
+    ++stats_.evicts;
+    if (policy_ != nullptr) {
+      policy_->OnEvict(lbn);
+    }
+    return ssc_->Evict(lbn);
   } else if (cs == Status::kIoError) {
     // Flash failure that survived the SSC's retries. The host write already
     // succeeded against the disk; evict any stale copy, and trip into

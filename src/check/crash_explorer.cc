@@ -6,33 +6,27 @@
 #include <unordered_set>
 
 #include "src/check/invariant_checker.h"
-#include "src/util/bitmap.h"
 #include "src/util/rng.h"
 
 namespace flashtier {
 
 namespace {
 
-// Thrown by the commit-point hook to simulate power failure at that exact
-// instant. Unwinding abandons only device-RAM state, which SimulateCrash
-// wipes anyway; the medium and the durable log/checkpoint regions keep
-// whatever had been committed before the throw.
+// Thrown by the commit-point and recovery-point hooks to simulate power
+// failure at that exact instant. Unwinding abandons only device-RAM state,
+// which SimulateCrash wipes anyway; the medium and the durable
+// log/checkpoint regions keep whatever had been committed before the throw.
 struct CrashInjected {};
-
-std::string FmtViolation(const char* guarantee, Lbn lbn, const char* what) {
-  char buffer[192];
-  std::snprintf(buffer, sizeof(buffer), "%s: lbn %llu %s", guarantee, (unsigned long long)lbn,
-                what);
-  return std::string(buffer);
-}
 
 }  // namespace
 
 std::string CrashExplorerReport::ToString() const {
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer),
-                "explored %llu of %llu commit points: %llu violations in %llu trials",
+                "explored %llu of %llu commit points + %llu recovery trials over %llu recovery "
+                "points: %llu violations in %llu trials",
                 (unsigned long long)points_explored, (unsigned long long)total_commit_points,
+                (unsigned long long)recovery_trials, (unsigned long long)total_recovery_points,
                 (unsigned long long)violation_count, (unsigned long long)trials_with_violations);
   std::string out(buffer);
   if (baseline_faults.program_failures != 0 || baseline_faults.erase_failures != 0 ||
@@ -63,46 +57,21 @@ SscConfig CrashExplorer::DeviceConfig() const {
   config.mode = options_.mode;
   config.group_commit_ops = options_.group_commit_ops;
   config.checkpoint_interval_writes = options_.checkpoint_interval_writes;
+  config.log_region_pages = options_.log_region_pages;
+  config.checkpoint_segment_entries = options_.checkpoint_segment_entries;
   config.fault_plan = options_.faults;
   config.break_retirement_for_testing = options_.break_retirement;
   return config;
 }
 
 std::vector<CrashExplorer::ScriptedOp> CrashExplorer::BuildScript() const {
-  Rng rng(options_.seed);
-  std::vector<ScriptedOp> script;
-  script.reserve(options_.ops);
-  // Half the traffic hits a hot eighth of the address space so the run
-  // exercises overwrites (the InvalidateOldVersion paths) as well as misses.
-  const uint64_t hot = std::max<uint64_t>(1, options_.address_blocks / 8);
   uint64_t next_token = 1;
-  for (uint32_t i = 0; i < options_.ops; ++i) {
-    ScriptedOp op;
-    op.lbn = rng.Chance(0.5) ? rng.Below(hot) : rng.Below(options_.address_blocks);
-    const uint64_t roll = rng.Below(100);
-    if (roll < 40) {
-      op.kind = OpKind::kWriteDirty;
-      op.token = next_token++;
-    } else if (roll < 60) {
-      op.kind = OpKind::kWriteClean;
-      op.token = next_token++;
-    } else if (roll < 75) {
-      op.kind = OpKind::kRead;
-    } else if (roll < 87) {
-      op.kind = OpKind::kClean;
-    } else if (roll < 95) {
-      op.kind = OpKind::kEvict;
-    } else {
-      op.kind = OpKind::kCollect;
-    }
-    script.push_back(op);
-  }
-  return script;
+  return BuildWorkloadScript(options_.seed, options_.ops, options_.address_blocks, &next_token);
 }
 
-std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& script,
-                                                 uint64_t crash_point, uint64_t* points_out,
-                                                 FaultStats* faults_out) {
+std::vector<std::string> CrashExplorer::RunTrial(
+    const std::vector<ScriptedOp>& script, uint64_t crash_point,
+    const std::vector<uint64_t>& recovery_crash_points, TrialProbe* probe) {
   SimClock clock;
   // One device per shard (one device total in the default configuration),
   // all sharing the virtual clock. The scripted workload runs sequentially,
@@ -141,14 +110,17 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
   const bool faults_on = options_.faults.enabled;
 
   uint64_t points = 0;
-  const bool trace = options_.verbose && crash_point == ~uint64_t{0};
+  const bool trace = options_.verbose && probe != nullptr;
   for (auto& ssc : sscs) {
     ssc->set_data_loss_hook([&lost](Lbn lbn) { lost.insert(lbn); });
     ssc->persist_for_testing()->set_commit_point_hook_for_testing(
-        [&points, crash_point, trace](CommitPoint p) {
+        [&points, crash_point, trace, probe](CommitPoint p) {
           if (trace) {
             std::fprintf(stderr, "flashcheck: point %llu = %s\n", (unsigned long long)points,
                          CommitPointName(p));
+          }
+          if (probe != nullptr) {
+            probe->kinds.push_back(p);
           }
           if (points++ == crash_point) {
             throw CrashInjected{};
@@ -192,9 +164,21 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
       switch (effective) {
         case OpKind::kWriteDirty:
           s = dev(op.lbn).WriteDirty(op.lbn, op.token);
+          if (s == Status::kBackpressure) {
+            // Bounded stall, as the write-back manager would do: drain the
+            // log (forcing a checkpoint) and retry once. The drain crosses
+            // commit points of its own, so crashes *inside* the stall are
+            // explored like any others.
+            dev(op.lbn).DrainLog();
+            s = dev(op.lbn).WriteDirty(op.lbn, op.token);
+          }
           break;
         case OpKind::kWriteClean:
           s = dev(op.lbn).WriteClean(op.lbn, op.token);
+          if (s == Status::kBackpressure) {
+            dev(op.lbn).DrainLog();
+            s = dev(op.lbn).WriteClean(op.lbn, op.token);
+          }
           break;
         case OpKind::kRead:
           s = dev(op.lbn).Read(op.lbn, &read_token);
@@ -240,93 +224,17 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     }
 
     // The operation completed: it is acknowledged, so the guarantees attach.
-    // Verify read-backs against the shadow model as we go (a pre-crash stale
-    // read would be a plain FTL bug, worth catching in the same harness).
-    // A rejected write takes the eviction branch: its acknowledged state is
+    // A rejected write took the eviction branch: its acknowledged state is
     // "not cached" (the data lives on the unmodeled backing disk).
-    switch (effective) {
-      case OpKind::kWriteDirty:
-        if (IsOk(s)) {
-          entry = {ShadowState::kDirty, op.token};
-          lost.erase(op.lbn);  // fresh acknowledged data: G1 fully re-attaches
-        } else if (s == Status::kIoError && faults_on) {
-          // The medium rejected the write even after the SSC's retries.
-          // Failure atomicity: the cache state (and the shadow) is unchanged.
-        } else if (s != Status::kNoSpace) {
-          violations.push_back(FmtViolation("pre-crash", op.lbn, "write-dirty failed"));
-        }
-        break;
-      case OpKind::kWriteClean:
-        if (IsOk(s)) {
-          entry = {ShadowState::kClean, op.token};
-          lost.erase(op.lbn);
-        } else if (s == Status::kIoError && faults_on) {
-          // As above: a failed program leaves the previous version intact.
-        } else if (s != Status::kNoSpace) {
-          violations.push_back(FmtViolation("pre-crash", op.lbn, "write-clean failed"));
-        }
-        break;
-      case OpKind::kRead:
-        switch (entry.state) {
-          case ShadowState::kNone:
-          case ShadowState::kEvicted:
-            if (s != Status::kNotPresent) {
-              violations.push_back(
-                  FmtViolation("pre-crash G3", op.lbn, "read hit after evict/never-written"));
-            }
-            break;
-          case ShadowState::kDirty:
-            if (IsOk(s)) {
-              if (read_token != entry.token) {
-                violations.push_back(FmtViolation("pre-crash G1", op.lbn, "stale dirty read"));
-              }
-            } else if (lost.count(op.lbn) != 0) {
-              // The only copy was destroyed by an injected fault (possibly
-              // detected by this very read); the block now behaves as gone.
-              entry = {ShadowState::kEvicted, 0};
-            } else {
-              violations.push_back(FmtViolation("pre-crash G1", op.lbn, "dirty data lost"));
-            }
-            break;
-          case ShadowState::kClean:
-          case ShadowState::kCleaned:
-            if (IsOk(s) ? read_token != entry.token : s != Status::kNotPresent) {
-              violations.push_back(FmtViolation("pre-crash G2", op.lbn, "stale clean read"));
-            }
-            break;
-        }
-        break;
-      case OpKind::kClean:
-        if (IsOk(s)) {
-          if (entry.state == ShadowState::kDirty) {
-            entry.state = ShadowState::kCleaned;
-          } else if (entry.state == ShadowState::kNone || entry.state == ShadowState::kEvicted) {
-            violations.push_back(FmtViolation("pre-crash G3", op.lbn, "clean hit after evict"));
-          }
-        } else if (s == Status::kNotPresent) {
-          if (entry.state == ShadowState::kDirty) {
-            if (lost.count(op.lbn) != 0) {
-              entry = {ShadowState::kEvicted, 0};
-            } else {
-              violations.push_back(FmtViolation("pre-crash G1", op.lbn, "dirty block vanished"));
-            }
-          }
-        }
-        break;
-      case OpKind::kEvict:
-        entry = {ShadowState::kEvicted, 0};
-        lost.erase(op.lbn);  // an acknowledged evict makes the loss moot
-        break;
-      case OpKind::kCollect:
-        break;
-    }
+    ApplyAcknowledged(effective, op.lbn, op.token, s, read_token, faults_on, lost, entry,
+                      &violations);
   }
 
   for (auto& ssc : sscs) {
     ssc->persist_for_testing()->set_commit_point_hook_for_testing(nullptr);
   }
-  if (points_out != nullptr) {
-    *points_out = points;
+  if (probe != nullptr) {
+    probe->commit_points = points;
   }
 
   // The workload is over: everything from here on (invariant audits, crash,
@@ -364,12 +272,57 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
   // at quiescence must preserve every acknowledged operation), then recover.
   // Power loss is global: every shard crashes at the same instant and every
   // shard recovers before the shadow sweep.
-  for (auto& ssc : sscs) {
-    if (options_.break_recovery) {
-      ssc->persist_for_testing()->set_skip_log_tail_replay_for_testing(true);
+  uint64_t recovery_points = 0;
+  {
+    size_t next_crash = 0;  // index into recovery_crash_points (ascending)
+    for (auto& ssc : sscs) {
+      if (options_.break_recovery) {
+        ssc->persist_for_testing()->set_skip_log_tail_replay_for_testing(true);
+      }
+      ssc->persist_for_testing()->set_recovery_point_hook_for_testing(
+          [&recovery_points, &next_crash, &recovery_crash_points, trace](RecoveryPoint p) {
+            if (trace) {
+              std::fprintf(stderr, "flashcheck: recovery point %llu = %s\n",
+                           (unsigned long long)recovery_points, RecoveryPointName(p));
+            }
+            const uint64_t ordinal = recovery_points++;
+            if (next_crash < recovery_crash_points.size() &&
+                ordinal == recovery_crash_points[next_crash]) {
+              ++next_crash;
+              throw CrashInjected{};
+            }
+          });
+      ssc->SimulateCrash();
     }
-    ssc->SimulateCrash();
-    ssc->Recover();
+    // Recovery itself may crash, at any RecoveryPoint boundary. The second
+    // power failure wipes every shard's RAM again; the controller then just
+    // restarts recovery from the top — every phase only reads durable
+    // state, so re-entry must converge. The ordinal counter keeps running
+    // across attempts, which is how two ascending crash ordinals produce a
+    // double crash (a crash inside the recovery from the recovery crash).
+    // Bounded retries so a livelocked recovery fails the trial, not the run.
+    bool recovered = false;
+    for (int attempt = 0; attempt < 4 && !recovered; ++attempt) {
+      try {
+        for (auto& ssc : sscs) {
+          ssc->Recover();
+        }
+        recovered = true;
+      } catch (const CrashInjected&) {
+        for (auto& ssc : sscs) {
+          ssc->SimulateCrash();
+        }
+      }
+    }
+    if (!recovered) {
+      violations.emplace_back("recovery: did not complete within the retry bound");
+    }
+    for (auto& ssc : sscs) {
+      ssc->persist_for_testing()->set_recovery_point_hook_for_testing(nullptr);
+    }
+  }
+  if (probe != nullptr) {
+    probe->recovery_points = recovery_points;
   }
 
   if (options_.run_invariant_checker) {
@@ -388,112 +341,35 @@ std::vector<std::string> CrashExplorer::RunTrial(const std::vector<ScriptedOp>& 
     }
   }
 
-  // Verify every block of the address space against the shadow model.
-  const ScriptedOp* pending =
-      crashed && in_flight < script.size() ? &script[in_flight] : nullptr;
-  for (Lbn lbn = 0; lbn < options_.address_blocks; ++lbn) {
-    const ShadowEntry& entry = shadow[lbn];
-    const bool lbn_in_flight = pending != nullptr && pending->lbn == lbn &&
-                               in_flight_kind != OpKind::kRead &&
-                               in_flight_kind != OpKind::kCollect;
-
-    // Allowed outcomes for the *acknowledged* state.
-    bool allow_not_present = false;
-    bool require_dirty = false;
-    uint64_t allowed_tokens[2] = {0, 0};
-    int allowed_count = 0;
-    switch (entry.state) {
-      case ShadowState::kNone:
-      case ShadowState::kEvicted:
-        allow_not_present = true;
+  // Verify every block of the address space against the shadow model. The
+  // sweep dispatches on the *effective* in-flight kind (see above).
+  ShadowPendingOp pending;
+  if (crashed && in_flight < script.size()) {
+    const ScriptedOp& op = script[in_flight];
+    pending.lbn = op.lbn;
+    pending.token = op.token;
+    switch (in_flight_kind) {
+      case OpKind::kWriteDirty:
+      case OpKind::kWriteClean:
+        pending.kind = ShadowPendingOp::Kind::kWrite;
         break;
-      case ShadowState::kDirty:
-        allowed_tokens[allowed_count++] = entry.token;
-        require_dirty = true;  // G1: still dirty, or it could be silently lost
+      case OpKind::kEvict:
+        pending.kind = ShadowPendingOp::Kind::kEvict;
         break;
-      case ShadowState::kClean:
-      case ShadowState::kCleaned:
-        allowed_tokens[allowed_count++] = entry.token;
-        allow_not_present = true;  // silent eviction may have dropped it
+      case OpKind::kClean:
+        pending.kind = ShadowPendingOp::Kind::kClean;
         break;
-    }
-    // An injected fault destroyed this block's only copy mid-run (surfaced
-    // through the data-loss hook): it may be gone or unreadable, but a stale
-    // token is still forbidden.
-    if (lost.count(lbn) != 0) {
-      require_dirty = false;
-      allow_not_present = true;
-    }
-    // The in-flight operation may or may not have taken effect. Note this
-    // dispatches on the *effective* kind: a write the policy rejected was
-    // executing an eviction when the crash hit, so its token must never
-    // surface — only "gone or unchanged" is acceptable.
-    if (lbn_in_flight) {
-      require_dirty = false;
-      switch (in_flight_kind) {
-        case OpKind::kWriteDirty:
-        case OpKind::kWriteClean:
-          allowed_tokens[allowed_count++] = pending->token;
-          // The new version's record may be lost — but an overwrite of
-          // acknowledged dirty data must not tear: recovery surfaces the old
-          // version or the new one, never neither (the atomic remove+insert
-          // batch in SscDevice::WriteInternal).
-          if (entry.state != ShadowState::kDirty) {
-            allow_not_present = true;
-          }
-          break;
-        case OpKind::kEvict:
-          allow_not_present = true;
-          break;
-        case OpKind::kClean:
-        case OpKind::kRead:
-        case OpKind::kCollect:
-          break;
-      }
-    }
-
-    uint64_t token = 0;
-    const Status s = dev(lbn).Read(lbn, &token);
-    if (s == Status::kNotPresent) {
-      if (!allow_not_present) {
-        violations.push_back(FmtViolation(
-            entry.state == ShadowState::kDirty ? "G1" : "recovery", lbn,
-            "acknowledged data missing after recovery"));
-      }
-      continue;
-    }
-    if (!IsOk(s)) {
-      // A latent media fault may only be *detected* by this read, in which
-      // case the loss hook has just fired; check membership after the read.
-      if (lost.count(lbn) == 0) {
-        violations.push_back(FmtViolation("recovery", lbn, "read error after recovery"));
-      }
-      continue;
-    }
-    const bool token_allowed = (allowed_count > 0 && token == allowed_tokens[0]) ||
-                               (allowed_count > 1 && token == allowed_tokens[1]);
-    if (!token_allowed) {
-      // Any unexpected token is stale data: the exact failure G2 forbids
-      // (and for dirty blocks, a torn G1).
-      violations.push_back(FmtViolation(
-          entry.state == ShadowState::kDirty ? "G1" : "G2", lbn,
-          allowed_count == 0 ? "read returned data for an evicted/never-written block"
-                             : "read returned stale data after recovery"));
-      continue;
-    }
-    if (require_dirty) {
-      Bitmap dirty_map;
-      dev(lbn).Exists(lbn, 1, &dirty_map);
-      if (!dirty_map.Test(0)) {
-        violations.push_back(FmtViolation(
-            "G1", lbn, "acknowledged dirty block recovered clean (could be silently lost)"));
-      }
+      case OpKind::kRead:
+      case OpKind::kCollect:
+        break;  // no recovery-visible effect to excuse
     }
   }
-  if (faults_out != nullptr) {
-    *faults_out = FaultStats{};
+  VerifyAgainstShadow(shadow, dev, lost, pending, &violations);
+
+  if (probe != nullptr) {
+    probe->faults = FaultStats{};
     for (const auto& ssc : sscs) {
-      faults_out->Merge(ssc->device().fault_stats());
+      probe->faults.Merge(ssc->device().fault_stats());
     }
   }
   return violations;
@@ -503,44 +379,74 @@ CrashExplorerReport CrashExplorer::Explore() {
   CrashExplorerReport report;
   const std::vector<ScriptedOp> script = BuildScript();
 
-  // Crash-free pass: count the commit points this workload crosses (the
-  // script is deterministic, so every trial sees the same sequence). The
-  // trial still ends with a quiescent crash + recovery, which must be clean.
-  uint64_t total_points = 0;
-  std::vector<std::string> baseline =
-      RunTrial(script, /*crash_point=*/~uint64_t{0}, &total_points, &report.baseline_faults);
-  report.total_commit_points = total_points;
-  if (!baseline.empty()) {
+  // Crash-free pass: count the commit points and recovery points this
+  // workload crosses (the script is deterministic, so every trial sees the
+  // same sequence). The trial still ends with a quiescent crash + recovery,
+  // which must be clean.
+  TrialProbe probe;
+  std::vector<std::string> baseline = RunTrial(script, /*crash_point=*/~uint64_t{0}, {}, &probe);
+  report.total_commit_points = probe.commit_points;
+  report.total_recovery_points = probe.recovery_points;
+  report.baseline_faults = probe.faults;
+
+  const auto record = [&](const char* tag, std::vector<std::string> found) {
+    if (found.empty()) {
+      return;
+    }
     ++report.trials_with_violations;
-    report.violation_count += baseline.size();
-    for (std::string& v : baseline) {
+    report.violation_count += found.size();
+    for (std::string& v : found) {
+      if (options_.verbose) {
+        std::fprintf(stderr, "flashcheck: %s: %s\n", tag, v.c_str());
+      }
       if (report.samples.size() < CrashExplorerReport::kMaxSamples) {
-        report.samples.push_back("[crash-free] " + std::move(v));
+        report.samples.push_back(std::string("[") + tag + "] " + std::move(v));
       }
     }
-  }
+  };
+  record("crash-free", std::move(baseline));
 
   const uint32_t stride = std::max<uint32_t>(1, options_.stride);
-  for (uint64_t point = 0; point < total_points; point += stride) {
+  char tag[80];
+  for (uint64_t point = 0; point < report.total_commit_points; point += stride) {
     if (options_.max_points != 0 && report.points_explored >= options_.max_points) {
       break;
     }
-    std::vector<std::string> found = RunTrial(script, point, nullptr, nullptr);
+    std::snprintf(tag, sizeof(tag), "point %llu", (unsigned long long)point);
+    record(tag, RunTrial(script, point, {}, nullptr));
     ++report.points_explored;
-    if (!found.empty()) {
-      ++report.trials_with_violations;
-      report.violation_count += found.size();
-      for (std::string& v : found) {
-        if (options_.verbose) {
-          std::fprintf(stderr, "flashcheck: crash point %llu: %s\n", (unsigned long long)point,
-                       v.c_str());
-        }
-        if (report.samples.size() < CrashExplorerReport::kMaxSamples) {
-          char prefix[48];
-          std::snprintf(prefix, sizeof(prefix), "[point %llu] ", (unsigned long long)point);
-          report.samples.push_back(prefix + std::move(v));
-        }
+  }
+
+  if (options_.explore_recovery_points) {
+    // Prefer mid-checkpoint commit points for the workload crash: a torn
+    // segment generation is the hardest durable state a crashed recovery can
+    // be asked to re-enter.
+    std::vector<uint64_t> ckpt_points;
+    for (size_t i = 0; i < probe.kinds.size(); ++i) {
+      const CommitPoint k = probe.kinds[i];
+      if (k == CommitPoint::kCheckpointStart || k == CommitPoint::kCheckpointSegment ||
+          k == CommitPoint::kCheckpointDone) {
+        ckpt_points.push_back(i);
       }
+    }
+    for (uint64_t r = 0; r < report.total_recovery_points; ++r) {
+      const uint64_t c1 = !ckpt_points.empty()  ? ckpt_points[r % ckpt_points.size()]
+                          : report.total_commit_points != 0
+                              ? (r * 13) % report.total_commit_points
+                              : ~uint64_t{0};
+      std::snprintf(tag, sizeof(tag), "crash %llu, recovery crash %llu",
+                    (unsigned long long)c1, (unsigned long long)r);
+      record(tag, RunTrial(script, c1, {r}, nullptr));
+      // Double crash: the restarted recovery crashes again a few points in
+      // (the ordinal counter keeps running across attempts).
+      const uint64_t r2 = r + 1 + (r * 7919) % 3;
+      std::snprintf(tag, sizeof(tag), "crash %llu, double recovery crash %llu+%llu",
+                    (unsigned long long)c1, (unsigned long long)r, (unsigned long long)r2);
+      record(tag, RunTrial(script, c1, {r, r2}, nullptr));
+      // Quiescent crash, then a crash inside its recovery.
+      std::snprintf(tag, sizeof(tag), "quiescent, recovery crash %llu", (unsigned long long)r);
+      record(tag, RunTrial(script, ~uint64_t{0}, {r}, nullptr));
+      report.recovery_trials += 3;
     }
   }
   return report;

@@ -10,23 +10,24 @@
 // It scripts a deterministic mixed workload (write-dirty / write-clean /
 // read / clean / evict / background GC), counts every durability commit
 // point the run crosses (each log append, flush boundary, checkpoint
-// boundary, and silent-eviction erase barrier), then replays the same
-// workload once per commit point with a crash injected at exactly that
-// point. After each crash it runs recovery and verifies the recovered cache
-// against a shadow model of acknowledged operations:
+// boundary — including every checkpoint segment — and silent-eviction erase
+// barrier), then replays the same workload once per commit point with a
+// crash injected at exactly that point. After each crash it runs recovery
+// and verifies the recovered cache against a shadow model of acknowledged
+// operations (src/check/shadow_model.h).
 //
-//   * an acknowledged write-dirty must read back its exact data, dirty;
-//   * an acknowledged write-clean must read back its data or not-present;
-//   * an acknowledged evict must read not-present;
-//   * a cleaned block may revert to dirty, read its data, or be gone;
-//   * the operation in flight at the crash may or may not have happened —
-//     both its before- and after-states are accepted, anything else is a
-//     violation (in particular any stale token, which is how G2 breaks).
+// Recovery itself is also explored: every trial's recovery crosses a
+// sequence of RecoveryPoint boundaries (checkpoint load, log scan, map
+// rebuild), and a second crash can be injected at any of them — including a
+// third crash inside the recovery-from-the-recovery-crash (the double-crash
+// diagonal). Recovery only reads durable state, so re-running it after a
+// mid-recovery power failure must converge to the same result; the explorer
+// verifies G1-G3 and the structural invariants hold at every such point.
 //
-// Crashes are injected by a PersistenceManager commit-point hook that throws
-// through the device code; everything the throw abandons is device RAM,
-// which the simulated power failure wipes anyway, and the flash medium plus
-// durable log/checkpoint regions keep whatever had been committed.
+// Crashes are injected by PersistenceManager hooks that throw through the
+// device code; everything the throw abandons is device RAM, which the
+// simulated power failure wipes anyway, and the flash medium plus durable
+// log/checkpoint regions keep whatever had been committed.
 
 #ifndef FLASHTIER_CHECK_CRASH_EXPLORER_H_
 #define FLASHTIER_CHECK_CRASH_EXPLORER_H_
@@ -35,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/shadow_model.h"
 #include "src/policy/policy_factory.h"
 #include "src/ssc/shard.h"
 #include "src/ssc/ssc_device.h"
@@ -54,6 +56,12 @@ struct CrashExplorerOptions {
   ConsistencyMode mode = ConsistencyMode::kFull;
   uint32_t group_commit_ops = 16;             // small batches: many flush points
   uint64_t checkpoint_interval_writes = 250;  // force checkpoints mid-workload
+  // Finite log region (per shard), small enough that the high-water forced
+  // checkpoint and backpressure paths are composed with every crash point.
+  uint64_t log_region_pages = 4;
+  // Small segments so every checkpoint spans several kCheckpointSegment
+  // commit points (crash-during-checkpoint-write leaves a torn generation).
+  uint64_t checkpoint_segment_entries = 16;
 
   // Scripted workload shape.
   uint32_t ops = 600;
@@ -63,6 +71,11 @@ struct CrashExplorerOptions {
   // Exploration bounds. 0 max_points means every commit point.
   uint32_t max_points = 0;
   uint32_t stride = 1;
+  // Crash-during-recovery exploration (3 trials per recovery point: single
+  // mid-workload crash + recovery crash, the double-crash diagonal, and a
+  // quiescent crash + recovery crash). Cheap — recovery crosses only a
+  // handful of points per shard — but can be disabled for focused runs.
+  bool explore_recovery_points = true;
 
   // Medium fault injection (--faults): the plan is installed in the SSC's
   // flash device, so every trial composes the same deterministic fault
@@ -96,8 +109,10 @@ struct CrashExplorerOptions {
 };
 
 struct CrashExplorerReport {
-  uint64_t total_commit_points = 0;  // commit points in the crash-free run
-  uint64_t points_explored = 0;      // trials actually executed
+  uint64_t total_commit_points = 0;    // commit points in the crash-free run
+  uint64_t total_recovery_points = 0;  // recovery points in one clean recovery
+  uint64_t points_explored = 0;        // commit-point trials executed
+  uint64_t recovery_trials = 0;        // crash-during-recovery trials executed
   uint64_t trials_with_violations = 0;
   uint64_t violation_count = 0;
   // Faults the crash-free baseline run injected (proof the schedule fired;
@@ -115,42 +130,35 @@ class CrashExplorer {
  public:
   explicit CrashExplorer(const CrashExplorerOptions& options);
 
-  // Runs the full exploration: one crash-free counting pass, then one trial
-  // per (strided) commit point.
+  // Runs the full exploration: one crash-free counting pass, one trial per
+  // (strided) commit point, then the crash-during-recovery trials.
   CrashExplorerReport Explore();
 
  private:
-  enum class OpKind : uint8_t { kWriteDirty, kWriteClean, kRead, kClean, kEvict, kCollect };
+  using OpKind = WorkloadOpKind;
+  using ScriptedOp = WorkloadOp;
 
-  struct ScriptedOp {
-    OpKind kind;
-    Lbn lbn = 0;
-    uint64_t token = 0;
-  };
-
-  // Shadow model: the last acknowledged state of one lbn.
-  enum class ShadowState : uint8_t {
-    kNone,     // never written (or initial): must read not-present
-    kDirty,    // acked write-dirty: must read exactly `token`, dirty (G1)
-    kClean,    // acked write-clean: `token` or not-present (G2)
-    kCleaned,  // dirty then acked clean: `token` or not-present; may re-dirty
-    kEvicted,  // acked evict: not-present (G3)
-  };
-  struct ShadowEntry {
-    ShadowState state = ShadowState::kNone;
-    uint64_t token = 0;
+  // Counts and context the baseline (crash-free) pass reports back.
+  struct TrialProbe {
+    uint64_t commit_points = 0;
+    uint64_t recovery_points = 0;
+    std::vector<CommitPoint> kinds;  // commit-point kinds, in firing order
+    FaultStats faults;
   };
 
   std::vector<ScriptedOp> BuildScript() const;
   SscConfig DeviceConfig() const;
 
   // Runs the script with a crash injected at commit point `crash_point`
-  // (counting from 0), recovers, and verifies. Returns violations found.
-  // `crash_point` == UINT64_MAX runs crash-free and reports the number of
-  // commit points through `points_out` (and, when `faults_out` is non-null,
-  // the faults the device injected).
+  // (counting from 0; UINT64_MAX = run the whole script and crash at
+  // quiescence), then recovers and verifies. `recovery_crash_points` lists
+  // recovery-point ordinals at which the (re-started) recovery crashes
+  // again — the counter keeps running across recovery attempts, so two
+  // ascending ordinals produce a double crash. Returns violations found;
+  // fills `probe` when non-null (the baseline pass).
   std::vector<std::string> RunTrial(const std::vector<ScriptedOp>& script, uint64_t crash_point,
-                                    uint64_t* points_out, FaultStats* faults_out);
+                                    const std::vector<uint64_t>& recovery_crash_points,
+                                    TrialProbe* probe);
 
   CrashExplorerOptions options_;
 };

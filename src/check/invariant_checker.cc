@@ -114,6 +114,19 @@ CheckReport InvariantChecker::CheckPersistence(const PersistenceManager& pm) {
                Fmt("checkpoint lsn %llu >= next_lsn %llu",
                    (unsigned long long)pm.checkpoint_lsn_, (unsigned long long)pm.next_lsn_));
   }
+
+  // Log-region capacity: the durable log may never exceed the configured
+  // region — backpressure and forced checkpoints exist precisely to uphold
+  // this bound, so a breach means an append slipped past admission.
+  if (pm.options_.log_region_pages > 0) {
+    ++report.checks_run;
+    if (pm.DurableLogPages() > pm.options_.log_region_pages) {
+      report.Add("persist.log-region",
+                 Fmt("durable log occupies %llu pages, region holds %llu",
+                     (unsigned long long)pm.DurableLogPages(),
+                     (unsigned long long)pm.options_.log_region_pages));
+    }
+  }
   return report;
 }
 

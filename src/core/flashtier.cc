@@ -61,6 +61,15 @@ FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
                               : EvictionPolicy::kSeUtil;
       ssc_config.mode = config.consistency;
       ssc_config.timings = config.timings;
+      if (config.log_region_pages > 0) {
+        // A total region budget, split like capacity; every shard gets at
+        // least one page so a tiny budget still leaves each log usable.
+        ssc_config.log_region_pages =
+            std::max<uint64_t>(1, config.log_region_pages / shard_count);
+      }
+      if (config.checkpoint_segment_entries > 0) {
+        ssc_config.checkpoint_segment_entries = config.checkpoint_segment_entries;
+      }
       shard->ssc = std::make_unique<SscDevice>(ssc_config, &shard->clock);
 
       if (SystemIsWriteBack(config.type)) {

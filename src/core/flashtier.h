@@ -62,6 +62,12 @@ struct SystemConfig {
   // policy instance. The default AdmitAll reproduces the pre-policy system
   // bit for bit.
   PolicyConfig admission;
+  // Log-region capacity and checkpoint segmentation (DESIGN.md §5g).
+  // log_region_pages is a total split evenly across shards; 0 keeps the
+  // SscConfig default per shard. checkpoint_segment_entries is per shard;
+  // 0 keeps the SscConfig default.
+  uint64_t log_region_pages = 0;
+  uint64_t checkpoint_segment_entries = 0;
 };
 
 // Owns every component of one simulated storage system.

@@ -29,7 +29,13 @@ SscDevice::SscDevice(const SscConfig& config, SimClock* clock)
   popts.group_commit_ops = config.group_commit_ops;
   popts.checkpoint_interval_writes = config.checkpoint_interval_writes;
   popts.page_size = geometry.page_size;
+  popts.log_region_pages = config.log_region_pages;
+  popts.checkpoint_segment_entries = config.checkpoint_segment_entries;
   persist_ = std::make_unique<PersistenceManager>(popts, config.timings, clock);
+  // Bounded log regions need a way to reclaim space on their own: install
+  // the snapshot source so the persistence layer can force a checkpoint when
+  // a flush would overflow the region.
+  persist_->set_checkpoint_source([this] { return SnapshotForCheckpoint(); });
   phys_to_logical_.assign(geometry.TotalBlocks(), kInvalidLbn);
   block_birth_.assign(geometry.TotalBlocks(), 0);
 }
@@ -114,6 +120,12 @@ Status SscDevice::WriteClean(Lbn lbn, uint64_t token) {
 }
 
 Status SscDevice::WriteInternal(Lbn lbn, uint64_t token, bool dirty) {
+  // Backpressure gate: refuse the op *before* any side effects when the log
+  // region cannot absorb the records it would generate. Internal activity
+  // (GC, merges, evicts) is never gated — it is what drains the region.
+  if (!persist_->AdmitHostOp()) {
+    return Status::kBackpressure;
+  }
   ++ftl_stats_.host_writes;
   if (Status s = EnsureFreeBlocks(kMinFreeBlocks); !IsOk(s)) {
     return s;
@@ -1053,7 +1065,20 @@ Status SscDevice::MergeOldestLogBlock() {
 // Crash and recovery (Section 4.2.2)
 // ---------------------------------------------------------------------------
 
+void SscDevice::DrainLog() {
+  if (config_.mode == ConsistencyMode::kNone) {
+    return;
+  }
+  persist_->NoteBackpressureStall();
+  persist_->ForceCheckpoint();
+}
+
 void SscDevice::SimulateCrash() {
+  ResetRamState();
+  persist_->Crash();
+}
+
+void SscDevice::ResetRamState() {
   block_map_.Clear();
   page_map_.Clear();
   log_blocks_.clear();
@@ -1064,14 +1089,20 @@ void SscDevice::SimulateCrash() {
   birth_counter_ = 0;
   cached_pages_ = 0;
   dirty_pages_ = 0;
-  persist_->Crash();
 }
 
 Status SscDevice::Recover() {
+  // Recovery is re-entrant: a crash at any RecoveryPoint leaves durable
+  // state untouched, and starting from scratch here discards whatever a
+  // previous aborted attempt had rebuilt (without this reset, a second
+  // Recover would double-queue dead blocks and double-count pages).
+  ResetRamState();
+
   std::vector<CheckpointEntry> checkpoint;
   std::vector<LogRecord> tail;
   persist_->Recover(&checkpoint, &tail);
 
+  const uint64_t rebuild_start_us = clock_->now_us();
   const FlashGeometry& g = device_->geometry();
   const uint32_t ppb = g.pages_per_block;
 
@@ -1176,7 +1207,10 @@ Status SscDevice::Recover() {
     phys_to_logical_[e.phys] = logical;
   });
 
-  // Rebuild allocator and per-block validity.
+  // Rebuild allocator and per-block validity. The free-list sweep and the
+  // validity reconciliation overlap normal activity and do not delay
+  // start-up (Section 6.4) — the forward map alone decides what a read may
+  // see — so neither is charged against recovery.
   allocator_ = std::make_unique<BlockAllocator>(*device_, g.TotalBlocks());  // starts empty
   cached_pages_ = 0;
   dirty_pages_ = 0;
@@ -1233,6 +1267,9 @@ Status SscDevice::Recover() {
 
   // 3. Log-block list: FIFO by program sequence; a partially-filled block (at
   // most one under normal operation) goes to the back as the active block.
+  // This is the one scan that MUST finish before the device accepts writes —
+  // appends and GC need the log contents — so its OOB reads (one metadata
+  // page per log block) are what the rebuild phase charges.
   std::sort(recovered_logs.begin(), recovered_logs.end());
   std::stable_partition(recovered_logs.begin(), recovered_logs.end(),
                         [&](const auto& p) { return device_->BlockFull(p.second); });
@@ -1255,6 +1292,11 @@ Status SscDevice::Recover() {
     cached_pages_ += static_cast<uint64_t>(std::popcount(e.present_bits));
     dirty_pages_ += static_cast<uint64_t>(std::popcount(e.dirty_bits));
   });
+
+  clock_->Advance(recovered_logs.size() * config_.timings.ReadCostUs());
+  persist_->RecordRebuildTime(clock_->now_us() - rebuild_start_us);
+  persist_->NotifyRecoveryPoint(RecoveryPoint::kMapsRebuilt);
+  persist_->NotifyRecoveryPoint(RecoveryPoint::kDone);
   return Status::kOk;
 }
 

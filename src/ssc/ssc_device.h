@@ -69,6 +69,13 @@ struct SscConfig {
   double max_log_fraction = 0.20;  // SE-Merge ceiling
   uint32_t group_commit_ops = 10'000;
   uint64_t checkpoint_interval_writes = 1'000'000;
+  // Size of the dedicated log region in flash pages (0 = unbounded). The
+  // default keeps the region far above what the ratio/interval checkpoint
+  // policies let the log reach, so backpressure only engages when those are
+  // configured off or the region is deliberately squeezed.
+  uint64_t log_region_pages = 4096;
+  // Checkpoint entries per segment (torn-write blast radius; 0 = one segment).
+  uint64_t checkpoint_segment_entries = 1024;
   uint32_t gc_victims_per_cycle = 4;  // top-k victim blocks per collection
   FlashTimings timings;
   FlashGeometry geometry;  // plane layout template; plane size scales to fit
@@ -163,7 +170,14 @@ class SscDevice {
 
   // Roll-forward recovery: checkpoint + log replay, then reconstruction of
   // reverse maps and block state. Leaves the device ready to serve requests.
+  // Idempotent: device RAM is reset on entry, so a crash at any RecoveryPoint
+  // can simply run Recover() again.
   Status Recover();
+
+  // Drains the log region by forcing a checkpoint, counting one backpressure
+  // stall. Cache managers call this when a write returns kBackpressure, then
+  // retry (the bounded-stall path); no-op in kNone mode.
+  void DrainLog();
 
   // ---- Introspection ----
 
@@ -238,6 +252,9 @@ class SscDevice {
   static bool PackedDirty(uint64_t packed) { return (packed & 1u) != 0; }
 
   Status WriteInternal(Lbn lbn, uint64_t token, bool dirty);
+  // Wipes all device-RAM structures (maps, log FIFO, dead queue, counters);
+  // used by SimulateCrash and by Recover re-entry.
+  void ResetRamState();
   // Removes the newest version of lbn from maps and medium; returns true if
   // one existed. Appends the matching log records (not flushed).
   bool InvalidateOldVersion(Lbn lbn);

@@ -69,6 +69,24 @@ double ArgParser::GetPositiveDouble(const std::string& name, double def) {
   return v;
 }
 
+std::vector<std::string> ArgParser::UnknownFlags(
+    std::initializer_list<std::string_view> known) const {
+  std::vector<std::string> unknown;
+  for (const auto& kv : values_) {
+    bool found = false;
+    for (const std::string_view k : known) {
+      if (kv.first == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      unknown.push_back(kv.first);
+    }
+  }
+  return unknown;  // values_ is an ordered map, so this is already sorted
+}
+
 bool ArgParser::GetBool(const std::string& name, bool def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) {

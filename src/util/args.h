@@ -1,14 +1,19 @@
 // Minimal command-line flag parsing for the bench and example binaries.
 //
-// Supports `--name=value` and `--name value`. Unknown flags are reported so a
-// typo in a sweep script fails loudly rather than silently running defaults.
+// Supports `--name=value` and `--name value`. Malformed arguments (anything
+// not shaped like a flag) fail the parser; tools that also want to reject
+// unknown flag *names* — so a typo in a sweep script fails loudly instead of
+// silently running defaults — validate with UnknownFlags().
 
 #ifndef FLASHTIER_UTIL_ARGS_H_
 #define FLASHTIER_UTIL_ARGS_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace flashtier {
 
@@ -33,6 +38,11 @@ class ArgParser {
   // An absent flag still returns `def` unchecked.
   int64_t GetPositiveInt(const std::string& name, int64_t def);
   double GetPositiveDouble(const std::string& name, double def);
+
+  // Flag names that were supplied but appear nowhere in `known`, in sorted
+  // order. Tools with a closed flag set call this once after construction
+  // and exit with usage when the result is non-empty.
+  std::vector<std::string> UnknownFlags(std::initializer_list<std::string_view> known) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -32,6 +32,10 @@ enum class Status : uint8_t {
   // The device is operating but in a reduced mode (e.g. a cache manager that
   // has tripped into pass-through after repeated write failures).
   kDegraded,
+  // The device's log region is full and the operation was refused before any
+  // state change; the caller may drain the log and retry, or bypass the
+  // cache. Transient by construction — a checkpoint reclaims the region.
+  kBackpressure,
 };
 
 constexpr bool IsOk(Status s) { return s == Status::kOk; }
@@ -52,6 +56,8 @@ constexpr std::string_view StatusName(Status s) {
       return "IO_ERROR";
     case Status::kDegraded:
       return "DEGRADED";
+    case Status::kBackpressure:
+      return "BACKPRESSURE";
   }
   return "UNKNOWN";
 }

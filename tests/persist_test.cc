@@ -286,6 +286,224 @@ TEST(PersistTest, ExplicitFlushInsideAtomicBatchStillFlushes) {
   EXPECT_EQ(pm.buffered_records(), 0u);
 }
 
+std::vector<CheckpointEntry> MakeEntries(Lbn base, size_t n) {
+  std::vector<CheckpointEntry> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i].key = base + i;
+    v[i].ppn = (base + i) * 2;
+  }
+  return v;
+}
+
+TEST(PersistTest, LogRegionExactlyFullBatchStillFlushes) {
+  // One page of log region holds exactly 91 records (91 * 45 B = 4095 B).
+  // The exactly-full batch is not an overflow and must land as a normal
+  // flush; the 92nd record converts the next flush into a forced checkpoint.
+  SimClock clock;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.group_commit_ops = 1000;  // flush timing controlled by the test
+  opts.log_region_pages = 1;
+  PersistenceManager pm(opts, FlashTimings{}, &clock);
+  pm.set_checkpoint_source([] { return std::vector<CheckpointEntry>(3); });
+  for (int i = 0; i < 91; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/false);
+  }
+  pm.Flush();
+  EXPECT_EQ(pm.durable_log_records(), 91u);
+  EXPECT_EQ(pm.DurableLogPages(), 1u);
+  EXPECT_EQ(pm.stats().checkpoints, 0u);
+  EXPECT_EQ(pm.stats().log_full_events, 0u);
+
+  pm.Append(MakeRecord(pm.NextLsn(), 91), /*sync=*/false);
+  pm.Flush();
+  EXPECT_EQ(pm.stats().checkpoints, 1u);
+  EXPECT_EQ(pm.stats().log_full_events, 1u);
+  EXPECT_EQ(pm.stats().forced_checkpoints, 1u);
+  // The checkpoint subsumed both the durable log and the buffered record, so
+  // the durable log never outgrew its region.
+  EXPECT_EQ(pm.durable_log_records(), 0u);
+  EXPECT_EQ(pm.buffered_records(), 0u);
+  EXPECT_LE(pm.DurableLogPages(), pm.log_region_pages());
+}
+
+TEST(PersistTest, AdmitHostOpThrottlesWhenFullAndReleasesAfterDrain) {
+  SimClock clock;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.group_commit_ops = 1000;
+  opts.log_region_pages = 1;
+  PersistenceManager pm(opts, FlashTimings{}, &clock);
+  pm.set_checkpoint_source([] { return std::vector<CheckpointEntry>(3); });
+  EXPECT_TRUE(pm.AdmitHostOp());
+  // 88 durable records fit in the page, but not with AdmitHostOp's 4-record
+  // margin for the internal records a host op can trigger: the op is refused
+  // before it has any side effects to tear.
+  for (int i = 0; i < 88; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/false);
+  }
+  pm.Flush();
+  EXPECT_EQ(pm.durable_log_records(), 88u);
+  EXPECT_FALSE(pm.AdmitHostOp());
+  EXPECT_EQ(pm.stats().log_full_events, 1u);
+  // Draining the log releases the throttle.
+  pm.ForceCheckpoint();
+  EXPECT_EQ(pm.stats().forced_checkpoints, 1u);
+  EXPECT_EQ(pm.durable_log_records(), 0u);
+  EXPECT_TRUE(pm.AdmitHostOp());
+}
+
+TEST(PersistTest, HighWaterForcesCheckpointBeforeRegionFills) {
+  SimClock clock;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.log_region_pages = 4;  // 0.75 high water = 3 pages
+  PersistenceManager pm(opts, FlashTimings{}, &clock);
+  // A huge first checkpoint keeps the size-ratio rule quiet and SmallOptions
+  // disables the write-interval rule, isolating the region trigger.
+  pm.WriteCheckpoint(std::vector<CheckpointEntry>(100'000));
+  int snapshots_taken = 0;
+  int appends = 0;
+  while (snapshots_taken == 0 && appends < 400) {
+    pm.Append(MakeRecord(pm.NextLsn(), appends++), /*sync=*/true);
+    pm.MaybeCheckpoint([&snapshots_taken] {
+      ++snapshots_taken;
+      return std::vector<CheckpointEntry>(100'000);
+    });
+  }
+  EXPECT_EQ(snapshots_taken, 1);
+  EXPECT_EQ(pm.stats().forced_checkpoints, 1u);
+  // 183 records * 45 B = 8235 B is the first log to occupy 3 pages: the
+  // checkpoint fires at the high-water mark, well before the region is full.
+  EXPECT_EQ(appends, 183);
+  EXPECT_EQ(pm.durable_log_records(), 0u);
+}
+
+TEST(PersistTest, TornCheckpointSegmentFallsBackToPreviousGeneration) {
+  SimClock clock;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.checkpoint_segment_entries = 4;
+  PersistenceManager pm(opts, FlashTimings{}, &clock);
+  pm.WriteCheckpoint(MakeEntries(100, 12));  // gen 1: 3 segments
+  for (int i = 0; i < 4; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), 500 + i), /*sync=*/true);
+  }
+  pm.WriteCheckpoint(MakeEntries(200, 12));  // gen 2; retains gen-1 log interval
+  pm.Append(MakeRecord(pm.NextLsn(), 600), /*sync=*/true);
+
+  pm.CorruptCheckpointForTesting(/*segment=*/1);
+  pm.Crash();
+  std::vector<CheckpointEntry> ckpt;
+  std::vector<LogRecord> tail;
+  pm.Recover(&ckpt, &tail);
+
+  // Only the torn slice fell back: segments 0 and 2 come from gen 2, the
+  // middle one from gen 1.
+  ASSERT_EQ(ckpt.size(), 12u);
+  EXPECT_EQ(ckpt[0].key, 200u);
+  EXPECT_EQ(ckpt[3].key, 203u);
+  EXPECT_EQ(ckpt[4].key, 104u);
+  EXPECT_EQ(ckpt[7].key, 107u);
+  EXPECT_EQ(ckpt[8].key, 208u);
+  EXPECT_EQ(pm.stats().segment_fallbacks, 1u);
+  EXPECT_EQ(pm.stats().checkpoint_fallbacks, 1u);
+  // The retained log interval catches the stale slice back up, and the
+  // post-checkpoint record replays as usual.
+  ASSERT_EQ(tail.size(), 5u);
+  EXPECT_EQ(tail[0].key, 500u);
+  EXPECT_EQ(tail[4].key, 600u);
+}
+
+TEST(PersistTest, DoublyTornSegmentDegradesToEmptySliceAndFullReplay) {
+  SimClock clock;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.checkpoint_segment_entries = 4;
+  PersistenceManager pm(opts, FlashTimings{}, &clock);
+  pm.WriteCheckpoint(MakeEntries(100, 12));
+  for (int i = 0; i < 4; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), 500 + i), /*sync=*/true);
+  }
+  pm.WriteCheckpoint(MakeEntries(200, 12));
+  pm.Append(MakeRecord(pm.NextLsn(), 600), /*sync=*/true);
+
+  // Both generations of segment 1 are rotted: that slice is irrecoverable
+  // and degrades to empty, with every retained record replayed.
+  pm.CorruptCheckpointForTesting(/*segment=*/1);
+  pm.CorruptPrevCheckpointForTesting(/*segment=*/1);
+  pm.Crash();
+  std::vector<CheckpointEntry> ckpt;
+  std::vector<LogRecord> tail;
+  pm.Recover(&ckpt, &tail);
+
+  ASSERT_EQ(ckpt.size(), 8u);
+  EXPECT_EQ(ckpt[0].key, 200u);
+  EXPECT_EQ(ckpt[4].key, 208u);  // segment 1's entries are gone entirely
+  EXPECT_EQ(pm.stats().segment_fallbacks, 1u);
+  ASSERT_EQ(tail.size(), 5u);
+}
+
+TEST(PersistTest, CorruptLogTailSkipsExactlyThoseRecords) {
+  SimClock clock;
+  PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);
+  for (int i = 0; i < 6; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), i), /*sync=*/true);
+  }
+  pm.CorruptLogTailForTesting(2);  // the slice a torn flush would mangle
+  pm.Crash();
+  std::vector<CheckpointEntry> ckpt;
+  std::vector<LogRecord> tail;
+  pm.Recover(&ckpt, &tail);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.back().key, 3u);
+  EXPECT_EQ(pm.stats().corrupt_records_skipped, 2u);
+}
+
+TEST(PersistTest, RecoveryIsIdempotent) {
+  // A crash during recovery re-runs recovery from the top. Both passes read
+  // only durable state, so they must produce bit-identical outputs — even
+  // with a corrupt record in the log exercising the CRC-skip path.
+  SimClock clock;
+  PersistenceManager::Options opts = SmallOptions();
+  opts.checkpoint_segment_entries = 4;
+  PersistenceManager pm(opts, FlashTimings{}, &clock);
+  pm.WriteCheckpoint(MakeEntries(100, 10));
+  for (int i = 0; i < 6; ++i) {
+    pm.Append(MakeRecord(pm.NextLsn(), 300 + i), /*sync=*/true);
+  }
+  pm.CorruptDurableRecordForTesting(2);
+  pm.Crash();
+
+  std::vector<CheckpointEntry> c1;
+  std::vector<CheckpointEntry> c2;
+  std::vector<LogRecord> t1;
+  std::vector<LogRecord> t2;
+  pm.Recover(&c1, &t1);
+  const PersistStats s1 = pm.stats();
+  pm.Recover(&c2, &t2);
+  const PersistStats s2 = pm.stats();
+
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].key, c2[i].key);
+    EXPECT_EQ(c1[i].ppn, c2[i].ppn);
+    EXPECT_EQ(c1[i].present_bits, c2[i].present_bits);
+    EXPECT_EQ(c1[i].dirty_bits, c2[i].dirty_bits);
+  }
+  ASSERT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].lsn, t2[i].lsn);
+    EXPECT_EQ(t1[i].key, t2[i].key);
+    EXPECT_EQ(t1[i].ppn, t2[i].ppn);
+  }
+  // Per-recovery outputs are overwritten, not accumulated, and match exactly.
+  EXPECT_EQ(s1.recovered_checkpoint_entries, s2.recovered_checkpoint_entries);
+  EXPECT_EQ(s1.replayed_log_records, s2.replayed_log_records);
+  EXPECT_EQ(s1.checkpoint_load_us, s2.checkpoint_load_us);
+  EXPECT_EQ(s1.log_replay_us, s2.log_replay_us);
+  EXPECT_EQ(s1.last_recovery_us, s2.last_recovery_us);
+  EXPECT_EQ(s1.last_recovery_us, s1.checkpoint_load_us + s1.log_replay_us);
+  // Cumulative corruption counters advance by the same amount each pass.
+  EXPECT_EQ(s1.corrupt_records_skipped, 1u);
+  EXPECT_EQ(s2.corrupt_records_skipped, 2u);
+}
+
 TEST(PersistTest, LsnsAreMonotone) {
   SimClock clock;
   PersistenceManager pm(SmallOptions(), FlashTimings{}, &clock);

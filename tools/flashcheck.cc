@@ -1,55 +1,115 @@
 // flashcheck: FlashTier crash-consistency model checker.
 //
-// Runs a deterministic mixed workload against a small SSC, injects a
-// simulated power failure at every durability commit point the workload
-// crosses (log appends, flush boundaries, checkpoint boundaries, silent-
-// eviction erase barriers), recovers, and verifies the recovered cache
-// against a shadow model of every acknowledged operation (guarantees G1,
-// G2, G3 from Section 3.2). Each recovered device is additionally audited
-// with the structural InvariantChecker.
+// Default mode runs a deterministic mixed workload against a small SSC,
+// injects a simulated power failure at every durability commit point the
+// workload crosses (log appends, flush boundaries, checkpoint boundaries —
+// including every checkpoint segment — and silent-eviction erase barriers),
+// recovers, and verifies the recovered cache against a shadow model of every
+// acknowledged operation (guarantees G1, G2, G3 from Section 3.2). Crashes
+// are additionally injected *inside* recovery, at every RecoveryPoint phase
+// boundary — including double crashes (power failing again inside the
+// recovery from the recovery crash). Each recovered device is audited with
+// the structural InvariantChecker.
+//
+// --soak=N switches to the crash-storm soak harness: N seeded
+// crash → recover → verify → resume cycles against one long-lived device
+// set, with crash points drawn across commit and recovery points, a shadow-
+// model equivalence check after every cycle, and a recovery-time budget.
 //
 // Exit status is 0 iff no violation was found, so the tool can gate CI.
-//
-// Usage:
-//   flashcheck [--ops=600] [--capacity-pages=512] [--address-blocks=1536]
-//              [--shards=1]
-//              [--policy=se-util|se-merge] [--mode=full|relaxed]
-//              [--admission=admit-all|ghost-lru|freq-sketch|write-limit]
-//              [--group-commit-ops=16] [--checkpoint-interval=250]
-//              [--seed=42] [--stride=1] [--max-points=0] [--verbose=false]
-//              [--break-recovery=false] [--no-invariants=false]
-//              [--faults] [--fault-seed=1] [--program-fail=0.01]
-//              [--erase-fail=0.05] [--read-corrupt=0.005] [--wear-limit=0]
-//              [--break-retry=false]
-//
-// --break-recovery flips a test hook that makes recovery skip log-tail
-// replay; the checker must then report violations (a self-test that the
-// harness can actually detect a broken recovery path).
-//
-// --faults arms deterministic medium fault injection (seeded by
-// --fault-seed) in every trial, composing program/erase/read faults with
-// the crash points. Dirty data destroyed by a fault is excused via the
-// SSC's data-loss reporting; everything else must still hold G1–G3.
-// --break-retry disables bad-block retirement so injected erase failures
-// leak non-erased blocks into the free list; the invariant checker must
-// then report violations (a self-test that faults are actually detected).
-//
-// --admission puts an admission policy (DESIGN.md §5f) in front of every
-// scripted write, composing reject-path evictions with every crash point
-// and auditing the rejected-block-absent and policy-memory-bound
-// invariants on the live and the recovered device.
+// Unknown flags exit 2 with the usage text below.
 
 #include <cstdio>
 #include <string>
 
 #include "src/check/crash_explorer.h"
+#include "src/check/soak.h"
 #include "src/policy/policy_factory.h"
 #include "src/util/args.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: flashcheck [mode] [options]\n"
+    "\n"
+    "modes:\n"
+    "  (default)              explore every durability commit point: run the\n"
+    "                         scripted workload once per point with a crash\n"
+    "                         injected there, recover, verify G1-G3 + the\n"
+    "                         structural invariants; then explore crashes\n"
+    "                         inside recovery (incl. double crashes)\n"
+    "  --soak=N               crash-storm soak: N seeded crash->recover->\n"
+    "                         verify->resume cycles on one long-lived device\n"
+    "  --break-recovery       self-test: recovery drops the log tail, the\n"
+    "                         checker MUST report violations\n"
+    "  --break-retry          self-test (requires --faults): bad-block\n"
+    "                         retirement is disabled, the invariant checker\n"
+    "                         MUST report violations\n"
+    "\n"
+    "workload / device options (shared by all modes):\n"
+    "  --ops=600 --capacity-pages=512 --address-blocks=1536 --shards=1\n"
+    "  --policy=se-util|se-merge --mode=full|relaxed\n"
+    "  --admission=admit-all|ghost-lru|freq-sketch|write-limit\n"
+    "  --group-commit-ops=16 --checkpoint-interval=250\n"
+    "  --log-region-pages=4 --segment-entries=16 --seed=42\n"
+    "\n"
+    "exploration options:\n"
+    "  --stride=1 --max-points=0 --no-recovery-points --no-invariants\n"
+    "  --verbose\n"
+    "\n"
+    "fault injection (composes with every mode):\n"
+    "  --faults --fault-seed=1 --program-fail=0.01 --erase-fail=0.05\n"
+    "  --read-corrupt=0.005 --wear-limit=0\n"
+    "\n"
+    "soak options:\n"
+    "  --soak=N --soak-ops=400 --recovery-crash-period=3\n"
+    "  --recovery-budget-us=2400000 --stats-json=FILE\n";
+
+bool WriteStatsJson(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   flashtier::ArgParser args(argc, argv);
   if (!args.ok()) {
-    std::fprintf(stderr, "flashcheck: %s\n", args.error().c_str());
+    std::fprintf(stderr, "flashcheck: %s\n%s", args.error().c_str(), kUsage);
+    return 2;
+  }
+  if (args.GetBool("help", false)) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  const auto unknown = args.UnknownFlags({
+      "help",          "ops",
+      "capacity-pages", "address-blocks",
+      "shards",        "policy",
+      "mode",          "admission",
+      "group-commit-ops", "checkpoint-interval",
+      "log-region-pages", "segment-entries",
+      "seed",          "stride",
+      "max-points",    "no-recovery-points",
+      "no-invariants", "verbose",
+      "break-recovery", "break-retry",
+      "faults",        "fault-seed",
+      "program-fail",  "erase-fail",
+      "read-corrupt",  "wear-limit",
+      "soak",          "soak-ops",
+      "recovery-crash-period", "recovery-budget-us",
+      "stats-json",
+  });
+  if (!unknown.empty()) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "flashcheck: unknown flag --%s\n", name.c_str());
+    }
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
@@ -64,17 +124,18 @@ int main(int argc, char** argv) {
   // disjointness invariant is audited next to G1-G3. Default 1 = classic
   // monolithic exploration, byte-for-byte the previous behaviour.
   options.shards = static_cast<uint32_t>(args.GetPositiveInt("shards", options.shards));
-  if (!args.ok()) {
-    std::fprintf(stderr, "flashcheck: %s\n", args.error().c_str());
-    return 2;
-  }
   options.group_commit_ops =
       static_cast<uint32_t>(args.GetInt("group-commit-ops", options.group_commit_ops));
   options.checkpoint_interval_writes = static_cast<uint64_t>(
       args.GetInt("checkpoint-interval", static_cast<int64_t>(options.checkpoint_interval_writes)));
+  options.log_region_pages = static_cast<uint64_t>(
+      args.GetInt("log-region-pages", static_cast<int64_t>(options.log_region_pages)));
+  options.checkpoint_segment_entries = static_cast<uint64_t>(args.GetPositiveInt(
+      "segment-entries", static_cast<int64_t>(options.checkpoint_segment_entries)));
   options.seed = static_cast<uint64_t>(args.GetInt("seed", static_cast<int64_t>(options.seed)));
   options.stride = static_cast<uint32_t>(args.GetInt("stride", options.stride));
   options.max_points = static_cast<uint32_t>(args.GetInt("max-points", options.max_points));
+  options.explore_recovery_points = !args.GetBool("no-recovery-points", false);
   options.break_recovery = args.GetBool("break-recovery", false);
   options.run_invariant_checker = !args.GetBool("no-invariants", false);
   options.verbose = args.GetBool("verbose", false);
@@ -86,6 +147,10 @@ int main(int argc, char** argv) {
   options.faults.read_corrupt_prob = args.GetDouble("read-corrupt", 0.005);
   options.faults.wear_out_erases = static_cast<uint32_t>(args.GetInt("wear-limit", 0));
   options.break_retirement = args.GetBool("break-retry", false);
+  if (!args.ok()) {
+    std::fprintf(stderr, "flashcheck: %s\n", args.error().c_str());
+    return 2;
+  }
   if (options.break_retirement && !options.faults.enabled) {
     std::fprintf(stderr, "flashcheck: --break-retry requires --faults\n");
     return 2;
@@ -116,6 +181,50 @@ int main(int argc, char** argv) {
     options.mode = flashtier::ConsistencyMode::kRelaxedClean;
   } else {
     std::fprintf(stderr, "flashcheck: unknown --mode '%s' (full | relaxed)\n", mode.c_str());
+    return 2;
+  }
+
+  const std::string stats_json = args.GetString("stats-json", "");
+  const int64_t soak_cycles = args.GetInt("soak", 0);
+  if (soak_cycles > 0) {
+    flashtier::SoakOptions sopts;
+    sopts.cycles = static_cast<uint32_t>(soak_cycles);
+    sopts.seed = options.seed;
+    sopts.capacity_pages = options.capacity_pages;
+    sopts.shards = options.shards;
+    sopts.policy = options.policy;
+    sopts.mode = options.mode;
+    sopts.group_commit_ops = options.group_commit_ops;
+    sopts.checkpoint_interval_writes = options.checkpoint_interval_writes;
+    sopts.log_region_pages = options.log_region_pages;
+    sopts.checkpoint_segment_entries = options.checkpoint_segment_entries;
+    sopts.ops_per_cycle = static_cast<uint32_t>(args.GetPositiveInt("soak-ops", 400));
+    sopts.address_blocks = options.address_blocks;
+    sopts.recovery_crash_period =
+        static_cast<uint32_t>(args.GetInt("recovery-crash-period", 3));
+    sopts.recovery_budget_us =
+        static_cast<uint64_t>(args.GetInt("recovery-budget-us", 2'400'000));
+    sopts.faults = options.faults;
+    sopts.admission = options.admission;
+    sopts.verbose = options.verbose;
+    if (!args.ok()) {
+      std::fprintf(stderr, "flashcheck: %s\n", args.error().c_str());
+      return 2;
+    }
+
+    flashtier::SoakHarness harness(sopts);
+    const flashtier::SoakReport report = harness.Run();
+    std::printf("flashcheck: %s\n", report.ToString().c_str());
+    if (!stats_json.empty() &&
+        !WriteStatsJson(stats_json, report.ToJson(sopts.recovery_budget_us))) {
+      std::fprintf(stderr, "flashcheck: cannot write --stats-json file '%s'\n",
+                   stats_json.c_str());
+      return 2;
+    }
+    return report.ok() ? 0 : 1;
+  }
+  if (!stats_json.empty()) {
+    std::fprintf(stderr, "flashcheck: --stats-json is only produced by --soak runs\n");
     return 2;
   }
 
