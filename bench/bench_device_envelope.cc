@@ -37,10 +37,12 @@ Device Make(const std::string& kind, SimClock& clock) {
   if (kind == "ssd") {
     d.ssd = std::make_unique<SsdFtl>(kPages, &clock);
     SsdFtl* ssd = d.ssd.get();
-    d.write = [ssd](uint64_t lpn, uint64_t v) { ssd->Write(lpn, v); };
+    // The envelope measures device timing envelopes; per-op outcomes
+    // (misses, no-space) are part of the workload, not errors.
+    d.write = [ssd](uint64_t lpn, uint64_t v) { (void)ssd->Write(lpn, v); };
     d.read = [ssd](uint64_t lpn) {
       uint64_t t;
-      ssd->Read(lpn, &t);
+      (void)ssd->Read(lpn, &t);
     };
     return d;
   }
@@ -55,13 +57,13 @@ Device Make(const std::string& kind, SimClock& clock) {
   d.ssc = std::make_unique<SscDevice>(config, &clock);
   SscDevice* ssc = d.ssc.get();
   if (kind == "ssc") {
-    d.write = [ssc](uint64_t lbn, uint64_t v) { ssc->WriteClean(lbn, v); };
+    d.write = [ssc](uint64_t lbn, uint64_t v) { (void)ssc->WriteClean(lbn, v); };
   } else {
-    d.write = [ssc](uint64_t lbn, uint64_t v) { ssc->WriteDirty(lbn, v); };
+    d.write = [ssc](uint64_t lbn, uint64_t v) { (void)ssc->WriteDirty(lbn, v); };
   }
   d.read = [ssc](uint64_t lbn) {
     uint64_t t;
-    ssc->Read(lbn, &t);
+    (void)ssc->Read(lbn, &t);
   };
   return d;
 }

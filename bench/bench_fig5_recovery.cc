@@ -54,7 +54,7 @@ int Main(int argc, char** argv) {
     FlashTierSystem ft(ft_config);
     const RunResult ft_result = ReplayWorkload(profile, ft_config, &ft, /*warmup_fraction=*/0.0);
     ft.ssc()->SimulateCrash();
-    ft.ssc()->Recover();
+    AssertOk(ft.ssc()->Recover());
     const double ft_s = static_cast<double>(ft.ssc()->last_recovery_us()) / 1e6;
     // Dumped after Recover() so the persist block carries the recovery-time
     // breakdown (checkpoint_load_us / log_replay_us / rebuild_us).

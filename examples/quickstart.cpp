@@ -64,7 +64,7 @@ int main() {
   // 5. Crash and recover: the mapping is durable — no cache warm-up needed.
   std::printf("-- power failure --\n");
   ssc.SimulateCrash();
-  ssc.Recover();
+  AssertOk(ssc.Recover());
   std::printf("recovered in %" PRIu64 " us (checkpoint + log replay)\n",
               ssc.last_recovery_us());
   token = 0;

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   // Power failure. The write-through manager holds NO state; the SSC
   // recovers its mapping and serving continues warm.
   system.ssc()->SimulateCrash();
-  system.ssc()->Recover();
+  AssertOk(system.ssc()->Recover());
   std::printf("crash+recover: %.1f ms to reload the cache map\n",
               static_cast<double>(system.ssc()->last_recovery_us()) / 1000.0);
 

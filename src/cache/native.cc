@@ -78,7 +78,10 @@ void NativeCacheManager::MetadataUpdate() {
   const uint64_t page =
       slots_.size() + metadata_cursor_ % kMetadataRegionPages;
   ++metadata_cursor_;
-  ssd_->Write(page, /*token=*/metadata_cursor_);
+  // Cost-model write: the packed metadata page carries no payload the
+  // simulation ever reads back, so a faulted program loses nothing tracked —
+  // only the media charge matters here.
+  (void)ssd_->Write(page, /*token=*/metadata_cursor_);
   ++stats_.metadata_writes;
 }
 
@@ -131,7 +134,7 @@ Status NativeCacheManager::AllocateWay(uint32_t set, uint16_t* way) {
     }
   }
   const Lbn victim_lbn = s.lbn;
-  ssd_->Trim(SsdPageOf(set, victim));
+  AssertOk(ssd_->Trim(SsdPageOf(set, victim)));
   LruUnlink(set, victim);
   s = Slot{};
   --occupied_;
@@ -181,7 +184,7 @@ Status NativeCacheManager::InsertBlock(Lbn lbn, uint64_t token, bool dirty, Admi
         --dirty_total_;
         MetadataUpdate();
       }
-      ssd_->Trim(SsdPageOf(set, way));
+      AssertOk(ssd_->Trim(SsdPageOf(set, way)));
       LruUnlink(set, way);
       s = Slot{};
       --occupied_;
@@ -303,7 +306,7 @@ Status NativeCacheManager::Read(Lbn lbn, uint64_t* token) {
       --dirty_total_;
       MetadataUpdate();
     }
-    ssd_->Trim(SsdPageOf(set, way));
+    AssertOk(ssd_->Trim(SsdPageOf(set, way)));
     LruUnlink(set, way);
     s = Slot{};
     --occupied_;

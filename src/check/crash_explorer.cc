@@ -304,8 +304,17 @@ std::vector<std::string> CrashExplorer::RunTrial(
     bool recovered = false;
     for (int attempt = 0; attempt < 4 && !recovered; ++attempt) {
       try {
+        bool all_ok = true;
         for (auto& ssc : sscs) {
-          ssc->Recover();
+          // A non-OK Recover is not a crash to retry — the device refused to
+          // come back up; surface it instead of silently looping.
+          if (!IsOk(ssc->Recover())) {
+            all_ok = false;
+          }
+        }
+        if (!all_ok) {
+          violations.emplace_back("recovery: device Recover returned an error");
+          break;
         }
         recovered = true;
       } catch (const CrashInjected&) {

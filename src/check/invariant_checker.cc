@@ -1,11 +1,13 @@
 #include "src/check/invariant_checker.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdarg>
 #include <cstdio>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "src/cache/write_back.h"
 #include "src/policy/admission_policy.h"
@@ -162,7 +164,8 @@ CheckReport InvariantChecker::CheckSscOnly(const SscDevice& ssc) {
   for (PhysBlock b : ssc.log_blocks_) {
     classify(b, kLog);
   }
-  ssc.block_map_.ForEach([&](uint64_t, const SscDevice::BlockEntry& e) { classify(e.phys, kData); });
+  ssc.block_map_.ForEach(
+      [&](uint64_t, const SscDevice::BlockEntry& e) { classify(e.phys, kData); });
   for (PhysBlock b : ssc.dead_blocks_) {
     classify(b, kDead);
   }
@@ -408,7 +411,11 @@ CheckReport InvariantChecker::Check(const WriteBackManager& manager) {
       }
     }
   });
-  for (Lbn lbn : ssc_dirty) {
+  // Walk the dirty set in LBN order so a multi-violation report reads the
+  // same on every stdlib (unordered_set iteration order is not a contract).
+  std::vector<Lbn> dirty_sorted(ssc_dirty.begin(), ssc_dirty.end());
+  std::sort(dirty_sorted.begin(), dirty_sorted.end());
+  for (Lbn lbn : dirty_sorted) {
     ++report.checks_run;
     if (!manager.dirty_table_.Contains(lbn)) {
       report.Add("dirty-table.untracked",

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 namespace flashtier {
@@ -133,13 +134,29 @@ void ReplayEngine::RunSharded(TraceSource& source) {
     workers.reserve(threads);
     for (uint32_t w = 0; w < threads; ++w) {
       workers.emplace_back([this, &queues, &runs, warmup, shard_count, threads, w] {
-        for (uint32_t i = w; i < shard_count; i += threads) {
-          ReplayShard(system_->shard(i), queues[i], warmup, &runs[i]);
+        // An exception escaping a std::thread body is std::terminate; park it
+        // in the engine's error channel and rethrow after join instead.
+        try {
+          for (uint32_t i = w; i < shard_count; i += threads) {
+            ReplayShard(system_->shard(i), queues[i], warmup, &runs[i]);
+          }
+        } catch (const std::exception& e) {
+          RecordWorkerError(e.what());
+        } catch (...) {
+          RecordWorkerError("unknown exception in replay worker");
         }
       });
     }
     for (std::thread& t : workers) {
       t.join();
+    }
+    std::string error;
+    {
+      MutexLock lock(&worker_error_mu_);
+      error = worker_error_;
+    }
+    if (!error.empty()) {
+      throw std::runtime_error("replay worker failed: " + error);
     }
   }
 
@@ -160,18 +177,28 @@ void ReplayEngine::RunSharded(TraceSource& source) {
   }
 }
 
+void ReplayEngine::RecordWorkerError(const std::string& what) {
+  MutexLock lock(&worker_error_mu_);
+  if (worker_error_.empty()) {
+    worker_error_ = what;
+  }
+}
+
 ReplayMetrics ReplayEngine::Run(TraceSource& source) {
   metrics_ = ReplayMetrics{};
+  // wall_clock_us is the one deliberately real-time metric: it measures the
+  // parallel engine itself, not the simulated system.
+  // flashlint: allow(wall-clock): host-side throughput measurement
   const auto wall_start = std::chrono::steady_clock::now();
   if (system_->shard_count() <= 1) {
     RunSingle(source);
   } else {
     RunSharded(source);
   }
+  // flashlint: allow(wall-clock): host-side throughput measurement
+  const auto wall_end = std::chrono::steady_clock::now();
   metrics_.wall_clock_us = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - wall_start)
-          .count());
+      std::chrono::duration_cast<std::chrono::microseconds>(wall_end - wall_start).count());
   metrics_.threads = std::min<uint32_t>(std::max<uint32_t>(1, options_.threads),
                                         system_->shard_count());
   metrics_.shards = system_->shard_count();

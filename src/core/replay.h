@@ -25,6 +25,7 @@
 #define FLASHTIER_CORE_REPLAY_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -32,6 +33,8 @@
 #include "src/core/flashtier.h"
 #include "src/trace/trace.h"
 #include "src/util/stats.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace flashtier {
 
@@ -113,10 +116,18 @@ class ReplayEngine {
   // (shard slice, queue): touches no engine state besides `run`.
   void ReplayShard(FlashTierSystem::Shard& shard, const std::vector<ShardRequest>& queue,
                    uint64_t warmup, ShardRun* run) const;
+  // Records the first worker failure; later calls are dropped so the message
+  // reported to the caller is deterministic under racing workers.
+  void RecordWorkerError(const std::string& what) EXCLUDES(worker_error_mu_);
 
   FlashTierSystem* system_;
   Options options_;
   ReplayMetrics metrics_;
+  // Cross-thread error channel for RunSharded: a worker that throws must not
+  // take down the process (std::terminate), so the first exception's message
+  // is parked here and rethrown on the coordinating thread after join.
+  Mutex worker_error_mu_;
+  std::string worker_error_ GUARDED_BY(worker_error_mu_);
   std::unordered_map<Lbn, uint64_t> oracle_;  // newest token per block
   // Blocks whose newest data was lost to a medium error: the oracle cannot
   // predict what the disk holds for them, so stale-checking is suspended

@@ -207,7 +207,7 @@ bool SscDevice::InvalidateOldVersion(Lbn lbn) {
     if (PackedDirty(*packed)) {
       --dirty_pages_;
     }
-    device_->MarkInvalid(old);
+    AssertOk(device_->MarkInvalid(old));
     page_map_.Erase(lbn);
     LogRecord rec;
     rec.lsn = persist_->NextLsn();
@@ -224,7 +224,7 @@ bool SscDevice::InvalidateOldVersion(Lbn lbn) {
   if (e == nullptr || ((e->present_bits >> off) & 1u) == 0) {
     return false;
   }
-  device_->MarkInvalid(device_->geometry().FirstPpnOf(e->phys) + off);
+  AssertOk(device_->MarkInvalid(device_->geometry().FirstPpnOf(e->phys) + off));
   if ((e->dirty_bits >> off) & 1u) {
     --dirty_pages_;
   }
@@ -400,7 +400,7 @@ Status SscDevice::RelocateDataBlock(PhysBlock phys, uint64_t logical, PhysBlock 
   for (uint32_t off = 0; off < ppb; ++off) {
     if (((e->present_bits >> off) & 1u) == 0) {
       if (!dst_failed) {
-        device_->SkipPage(destination);
+        AssertOk(device_->SkipPage(destination));
       }
       continue;
     }
@@ -413,14 +413,14 @@ Status SscDevice::RelocateDataBlock(PhysBlock phys, uint64_t logical, PhysBlock 
       // programs; both ways this page cannot move, and the source block is
       // being vacated — the page is lost.
       dst_failed = dst_failed || cs == Status::kIoError;
-      device_->MarkInvalid(src);
+      AssertOk(device_->MarkInvalid(src));
       --cached_pages_;
       if (src_dirty) {
         --dirty_pages_;
       }
       NoteLoss(lbn, src_dirty);
       if (cs == Status::kCorrupt) {
-        device_->SkipPage(destination);
+        AssertOk(device_->SkipPage(destination));
       }
       continue;
     }
@@ -593,7 +593,7 @@ void SscDevice::SilentlyEvict(PhysBlock phys, uint64_t logical) {
   const uint32_t dropped = static_cast<uint32_t>(std::popcount(e->present_bits));
   for (uint32_t off = 0; off < ppb; ++off) {
     if ((e->present_bits >> off) & 1u) {
-      device_->MarkInvalid(g.FirstPpnOf(phys) + off);
+      AssertOk(device_->MarkInvalid(g.FirstPpnOf(phys) + off));
     }
   }
   cached_pages_ -= dropped;
@@ -724,7 +724,7 @@ bool SscDevice::TrySwitchOrPartialMerge(PhysBlock victim) {
       }
       if (src == kInvalidPpn) {
         if (!dst_failed) {
-          device_->SkipPage(victim);
+          AssertOk(device_->SkipPage(victim));
         }
         continue;
       }
@@ -733,7 +733,7 @@ bool SscDevice::TrySwitchOrPartialMerge(PhysBlock victim) {
         // pages simply stay page-mapped; pages whose only copy is the old
         // data block go down with it.
         if (!from_log) {
-          device_->MarkInvalid(src);
+          AssertOk(device_->MarkInvalid(src));
           --cached_pages_;
           if (src_dirty) {
             --dirty_pages_;
@@ -748,7 +748,7 @@ bool SscDevice::TrySwitchOrPartialMerge(PhysBlock victim) {
         // keep the offsets aligned with a skip. Report the loss before the
         // remove record — its append can crash-commit the removal.
         NoteLoss(lbn, src_dirty);
-        device_->MarkInvalid(src);
+        AssertOk(device_->MarkInvalid(src));
         if (from_log) {
           RetireLogPage(lbn);
         }
@@ -756,13 +756,13 @@ bool SscDevice::TrySwitchOrPartialMerge(PhysBlock victim) {
         if (src_dirty) {
           --dirty_pages_;
         }
-        device_->SkipPage(victim);
+        AssertOk(device_->SkipPage(victim));
         continue;
       }
       if (cs == Status::kIoError) {
         dst_failed = true;
         if (!from_log) {
-          device_->MarkInvalid(src);
+          AssertOk(device_->MarkInvalid(src));
           --cached_pages_;
           if (src_dirty) {
             --dirty_pages_;
@@ -772,7 +772,7 @@ bool SscDevice::TrySwitchOrPartialMerge(PhysBlock victim) {
         continue;
       }
       if (!IsOk(cs)) {
-        device_->SkipPage(victim);
+        AssertOk(device_->SkipPage(victim));
         continue;
       }
       if (from_log) {
@@ -828,7 +828,7 @@ Status SscDevice::MergeLogicalBlock(uint64_t logical) {
     }
     if (src == kInvalidPpn) {
       if (!dst_failed) {
-        device_->SkipPage(fresh);
+        AssertOk(device_->SkipPage(fresh));
       }
       continue;
     }
@@ -837,7 +837,7 @@ Status SscDevice::MergeLogicalBlock(uint64_t logical) {
       // page-mapped (still live where they are); pages whose only copy is
       // the old data block are lost, because that block is being reclaimed.
       if (!from_log) {
-        device_->MarkInvalid(src);
+        AssertOk(device_->MarkInvalid(src));
         --cached_pages_;
         if (src_dirty) {
           --dirty_pages_;
@@ -853,7 +853,7 @@ Status SscDevice::MergeLogicalBlock(uint64_t logical) {
       // Report before the remove record: its append can crash-commit the
       // removal, and an unreported loss reads as a broken G1.
       NoteLoss(lbn, src_dirty);
-      device_->MarkInvalid(src);
+      AssertOk(device_->MarkInvalid(src));
       if (from_log) {
         RetireLogPage(lbn);
         old = block_map_.Find(logical);
@@ -862,13 +862,13 @@ Status SscDevice::MergeLogicalBlock(uint64_t logical) {
       if (src_dirty) {
         --dirty_pages_;
       }
-      device_->SkipPage(fresh);
+      AssertOk(device_->SkipPage(fresh));
       continue;
     }
     if (cs == Status::kIoError) {
       dst_failed = true;
       if (!from_log) {
-        device_->MarkInvalid(src);
+        AssertOk(device_->MarkInvalid(src));
         --cached_pages_;
         if (src_dirty) {
           --dirty_pages_;
@@ -961,7 +961,7 @@ Status SscDevice::ForwardCopyLogBlock(PhysBlock victim) {
       // loss before the remove record — its append can crash-commit the
       // removal.
       NoteLoss(lbn, dirty);
-      device_->MarkInvalid(base + i);
+      AssertOk(device_->MarkInvalid(base + i));
       RetireLogPage(lbn);
       --cached_pages_;
       if (dirty) {
@@ -1250,11 +1250,11 @@ Status SscDevice::Recover() {
       if (state == PageState::kValid && !referenced) {
         // The insert that would have referenced this page was lost in the
         // crash: treat it as silently evicted.
-        device_->MarkInvalid(base + off);
+        AssertOk(device_->MarkInvalid(base + off));
       } else if (state == PageState::kInvalid && referenced) {
         // Pre-crash RAM had superseded this page (e.g. a merge was copying
         // it) but only the old mapping is durable; the old page is live.
-        device_->MarkValid(base + off);
+        AssertOk(device_->MarkValid(base + off));
       }
       if (referenced) {
         min_seq = std::min(min_seq, device_->oob(base + off).seq);

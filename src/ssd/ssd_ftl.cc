@@ -95,7 +95,7 @@ Status SsdFtl::Trim(uint64_t lpn) {
 void SsdFtl::InvalidateOldVersion(uint64_t lpn) {
   const auto log_it = log_map_.find(lpn);
   if (log_it != log_map_.end()) {
-    device_->MarkInvalid(log_it->second);
+    AssertOk(device_->MarkInvalid(log_it->second));
     log_map_.erase(log_it);
     return;
   }
@@ -105,7 +105,7 @@ void SsdFtl::InvalidateOldVersion(uint64_t lpn) {
   if (data != nullptr) {
     const Ppn ppn = g.FirstPpnOf(*data) + lpn % g.pages_per_block;
     if (device_->page_state(ppn) == PageState::kValid) {
-      device_->MarkInvalid(ppn);
+      AssertOk(device_->MarkInvalid(ppn));
       ReclaimIfDead(*data, logical);
     }
   }
@@ -216,7 +216,7 @@ bool SsdFtl::TrySwitchOrPartialMerge(PhysBlock victim) {
         }
       }
       if (!copied) {
-        device_->SkipPage(victim);
+        AssertOk(device_->SkipPage(victim));
       }
     }
     ++ftl_stats_.partial_merges;
@@ -235,7 +235,7 @@ bool SsdFtl::TrySwitchOrPartialMerge(PhysBlock victim) {
     const Ppn old_base = g.FirstPpnOf(old_block);
     for (uint32_t i = 0; i < g.pages_per_block; ++i) {
       if (device_->page_state(old_base + i) == PageState::kValid) {
-        device_->MarkInvalid(old_base + i);
+        AssertOk(device_->MarkInvalid(old_base + i));
       }
     }
     block_map_.Erase(logical);
@@ -271,7 +271,7 @@ Status SsdFtl::FullMergeLogicalBlock(LogicalBlock logical) {
     }
     if (src == kInvalidPpn) {
       if (!dst_failed) {
-        device_->SkipPage(fresh);
+        AssertOk(device_->SkipPage(fresh));
       }
       continue;
     }
@@ -280,7 +280,7 @@ Status SsdFtl::FullMergeLogicalBlock(LogicalBlock logical) {
       // log-mapped; pages whose only copy is the old data block are lost
       // with it (the SSD cannot know whether the host had backed them up).
       if (!from_log) {
-        device_->MarkInvalid(src);
+        AssertOk(device_->MarkInvalid(src));
         ++ftl_stats_.dropped_clean_pages;
       }
       continue;
@@ -288,18 +288,18 @@ Status SsdFtl::FullMergeLogicalBlock(LogicalBlock logical) {
     Ppn dst = kInvalidPpn;
     const Status cs = device_->CopyPage(src, fresh, &dst);
     if (cs == Status::kCorrupt) {
-      device_->MarkInvalid(src);
+      AssertOk(device_->MarkInvalid(src));
       if (from_log) {
         log_map_.erase(log_it);
       }
       ++ftl_stats_.dropped_clean_pages;
-      device_->SkipPage(fresh);
+      AssertOk(device_->SkipPage(fresh));
       continue;
     }
     if (cs == Status::kIoError) {
       dst_failed = true;
       if (!from_log) {
-        device_->MarkInvalid(src);
+        AssertOk(device_->MarkInvalid(src));
         ++ftl_stats_.dropped_clean_pages;
       }
       continue;

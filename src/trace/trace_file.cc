@@ -28,7 +28,9 @@ TraceRecord UnpackRecord(const uint8_t in[kRecordSize]) {
 
 TraceFileWriter::~TraceFileWriter() {
   if (file_ != nullptr) {
-    Close();
+    // A destructor has no channel to report a failed flush; callers that
+    // need the verdict must call Close() themselves before destruction.
+    (void)Close();
   }
 }
 

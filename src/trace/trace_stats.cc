@@ -128,6 +128,7 @@ std::vector<uint64_t> TraceStats::RegionDensities(double top_fraction) const {
   }
   std::vector<uint64_t> densities;
   densities.reserve(per_region.size());
+  // flashlint: allow(unordered-iter): values are sorted below, order-free
   for (const auto& [region, n] : per_region) {
     densities.push_back(n);
   }

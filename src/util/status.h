@@ -9,12 +9,19 @@
 #ifndef FLASHTIER_UTIL_STATUS_H_
 #define FLASHTIER_UTIL_STATUS_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string_view>
 
 namespace flashtier {
 
-enum class Status : uint8_t {
+// [[nodiscard]] on the enum makes every function returning Status a
+// must-check call: an ignored return is a compiler warning (an error under
+// FLASHTIER_WERROR), because a dropped kIoError/kBackpressure is exactly the
+// kind of silent inconsistency the durability guarantees forbid. Genuinely
+// intentional discards must spell out `(void)` plus a constraint comment;
+// tools/flashlint enforces the same rule source-side.
+enum class [[nodiscard]] Status : uint8_t {
   kOk = 0,
   // The requested block is not in the cache. This is an expected outcome of
   // SSC reads (guarantee G2/G3), not an error.
@@ -39,6 +46,16 @@ enum class Status : uint8_t {
 };
 
 constexpr bool IsOk(Status s) { return s == Status::kOk; }
+
+// Consumes a Status that a caller-held invariant guarantees is kOk (e.g.
+// MarkInvalid on a page the forward map proves valid): asserts in debug
+// builds, deliberately discards in release. Grep-able, unlike a bare (void)
+// cast — use it only where failure would mean the *caller's* logic is broken,
+// never to swallow a runtime error.
+inline void AssertOk(Status s) {
+  assert(IsOk(s));
+  (void)s;
+}
 
 constexpr std::string_view StatusName(Status s) {
   switch (s) {

@@ -1,0 +1,73 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These attach the locking discipline to the code itself so `clang
+// -Wthread-safety` can prove, at compile time, that every access to a
+// GUARDED_BY member happens with its mutex held — the static complement to
+// the TSan job in CI. Build with -DFLASHTIER_THREAD_SAFETY=ON (clang only)
+// to promote violations to errors.
+//
+// The vocabulary follows the Clang documentation (and Abseil's macro names),
+// so annotations here read the same as in any other annotated codebase:
+//   GUARDED_BY(mu)      - field may only be read/written with `mu` held
+//   REQUIRES(mu)        - function may only be called with `mu` held
+//   ACQUIRE/RELEASE(mu) - function takes/drops `mu`
+//   EXCLUDES(mu)        - function must NOT be called with `mu` held
+//
+// Standard-library mutexes are not annotated by libstdc++, so annotated code
+// must use the Mutex/MutexLock wrappers from src/util/sync.h — the analysis
+// cannot see through a bare std::lock_guard<std::mutex>.
+
+#ifndef FLASHTIER_UTIL_THREAD_ANNOTATIONS_H_
+#define FLASHTIER_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#define CAPABILITY(x) FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FLASHTIER_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // FLASHTIER_UTIL_THREAD_ANNOTATIONS_H_

@@ -133,7 +133,7 @@ TEST(WriteThroughTest, WritesGoToBothDiskAndCache) {
   ASSERT_EQ(rig.ssc->Read(10, &token), Status::kOk);  // in cache
   EXPECT_EQ(token, 0xdeadu);
   uint64_t disk_token = 0;
-  rig.disk.Read(10, &disk_token);  // and on disk
+  ASSERT_EQ(rig.disk.Read(10, &disk_token), Status::kOk);  // and on disk
   EXPECT_EQ(disk_token, 0xdeadu);
 }
 
@@ -141,7 +141,7 @@ TEST(WriteThroughTest, AllCachedDataIsClean) {
   SscRig rig;
   WriteThroughManager manager(rig.ssc.get(), &rig.disk);
   for (Lbn i = 0; i < 100; ++i) {
-    manager.Write(i, i);
+    ASSERT_EQ(manager.Write(i, i), Status::kOk);
   }
   EXPECT_EQ(rig.ssc->dirty_pages(), 0u);
   EXPECT_EQ(manager.HostMemoryUsage(), 0u);  // no per-block host state
@@ -151,7 +151,7 @@ TEST(WriteThroughTest, CacheUsableImmediatelyAfterCrash) {
   SscRig rig;
   WriteThroughManager manager(rig.ssc.get(), &rig.disk);
   for (Lbn i = 0; i < 200; ++i) {
-    manager.Write(i, i + 1);
+    ASSERT_EQ(manager.Write(i, i + 1), Status::kOk);
   }
   rig.ssc->SimulateCrash();
   ASSERT_EQ(rig.ssc->Recover(), Status::kOk);
@@ -214,14 +214,14 @@ TEST(WriteBackTest, FlushAllWritesEverythingToDisk) {
   SscRig rig;
   WriteBackManager manager(rig.ssc.get(), &rig.disk);
   for (Lbn i = 0; i < 50; ++i) {
-    manager.Write(i, i + 100);
+    ASSERT_EQ(manager.Write(i, i + 100), Status::kOk);
   }
   ASSERT_EQ(manager.FlushAll(), Status::kOk);
   EXPECT_EQ(manager.dirty_blocks(), 0u);
   EXPECT_EQ(rig.ssc->dirty_pages(), 0u);
   for (Lbn i = 0; i < 50; ++i) {
     uint64_t token = 0;
-    rig.disk.Read(i, &token);
+    ASSERT_EQ(rig.disk.Read(i, &token), Status::kOk);
     EXPECT_EQ(token, i + 100);
   }
 }
@@ -230,7 +230,7 @@ TEST(WriteBackTest, RecoverDirtyTableRebuildsFromSsc) {
   SscRig rig;
   WriteBackManager manager(rig.ssc.get(), &rig.disk);
   for (Lbn i = 0; i < 60; ++i) {
-    manager.Write(i * 3, i);
+    ASSERT_EQ(manager.Write(i * 3, i), Status::kOk);
   }
   const uint64_t dirty_before = manager.dirty_blocks();
   rig.ssc->SimulateCrash();
@@ -251,7 +251,7 @@ TEST(WriteBackTest, HostMemoryTracksOnlyDirtyBlocks) {
   const size_t before = manager.HostMemoryUsage();
   for (Lbn i = 1000; i < 1400; ++i) {
     uint64_t token = 0;
-    manager.Read(i, &token);
+    ASSERT_EQ(manager.Read(i, &token), Status::kOk);
   }
   EXPECT_EQ(manager.HostMemoryUsage(), before);
   EXPECT_EQ(manager.dirty_blocks(), 0u);
@@ -328,7 +328,7 @@ TEST(NativeManagerTest, MetadataWritesOnlyInPersistentWriteBack) {
   persist_opts.metadata_batch = 1;
   NativeRig with_persist(persist_opts);
   for (Lbn i = 0; i < 100; ++i) {
-    with_persist.manager->Write(i, i);
+    ASSERT_EQ(with_persist.manager->Write(i, i), Status::kOk);
   }
   EXPECT_GT(with_persist.manager->stats().metadata_writes, 0u);
 
@@ -336,7 +336,7 @@ TEST(NativeManagerTest, MetadataWritesOnlyInPersistentWriteBack) {
   no_persist_opts.persist_metadata = false;
   NativeRig without(no_persist_opts);
   for (Lbn i = 0; i < 100; ++i) {
-    without.manager->Write(i, i);
+    ASSERT_EQ(without.manager->Write(i, i), Status::kOk);
   }
   EXPECT_EQ(without.manager->stats().metadata_writes, 0u);
 }
@@ -352,13 +352,13 @@ TEST(NativeManagerTest, HostMemoryIs22BytesPerSlot) {
 TEST(NativeManagerTest, FlushAllCleansEverything) {
   NativeRig rig;
   for (Lbn i = 0; i < 300; ++i) {
-    rig.manager->Write(i * 11, i);
+    ASSERT_EQ(rig.manager->Write(i * 11, i), Status::kOk);
   }
   ASSERT_EQ(rig.manager->FlushAll(), Status::kOk);
   EXPECT_EQ(rig.manager->dirty_blocks(), 0u);
   for (Lbn i = 0; i < 300; ++i) {
     uint64_t token = 0;
-    rig.disk.Read(i * 11, &token);
+    ASSERT_EQ(rig.disk.Read(i * 11, &token), Status::kOk);
     EXPECT_EQ(token, i);
   }
 }
@@ -367,7 +367,7 @@ TEST(NativeManagerTest, RecoveryEstimateGrowsWithCacheUse) {
   NativeRig rig;
   const uint64_t empty = rig.manager->RecoveryEstimateUs();
   for (Lbn i = 0; i < 1500; ++i) {
-    rig.manager->Write(i, i);
+    ASSERT_EQ(rig.manager->Write(i, i), Status::kOk);
   }
   EXPECT_GT(rig.manager->RecoveryEstimateUs(), empty);
 }

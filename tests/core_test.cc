@@ -51,7 +51,7 @@ TEST(FlashTierSystemTest, SscRUsesSeMergePolicy) {
   // SE-Merge allows the log to grow past the 7% SE-Util reserve; drive some
   // traffic and observe it exceed that bound.
   for (uint64_t i = 0; i < 30'000; ++i) {
-    system.manager().Write(i % 6000, i);
+    ASSERT_EQ(system.manager().Write(i % 6000, i), Status::kOk);
   }
   const uint64_t cap_blocks = 8192 / 64;
   EXPECT_GT(system.ssc()->current_log_blocks(), cap_blocks * 7 / 100);

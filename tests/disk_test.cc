@@ -23,18 +23,18 @@ class DiskModelTest : public ::testing::Test {
 TEST_F(DiskModelTest, RandomAccessPaysSeekAndRotation) {
   const DiskParams p;
   const uint64_t t0 = clock_.now_us();
-  disk_.Read(1'000'000);
+  ASSERT_EQ(disk_.Read(1'000'000), Status::kOk);
   const uint64_t cost = clock_.now_us() - t0;
   EXPECT_EQ(cost, p.avg_seek_us + p.avg_rotation_us + p.transfer_us_per_4k);
 }
 
 TEST_F(DiskModelTest, SequentialAccessIsMuchCheaper) {
-  disk_.Read(500);
+  ASSERT_EQ(disk_.Read(500), Status::kOk);
   const uint64_t t0 = clock_.now_us();
-  disk_.Read(501);  // next block: sequential
+  ASSERT_EQ(disk_.Read(501), Status::kOk);  // next block: sequential
   const uint64_t seq_cost = clock_.now_us() - t0;
   const uint64_t t1 = clock_.now_us();
-  disk_.Read(99'999'999);  // far away: random
+  ASSERT_EQ(disk_.Read(99'999'999), Status::kOk);  // far away: random
   const uint64_t rand_cost = clock_.now_us() - t1;
   EXPECT_LT(seq_cost * 10, rand_cost);
 }
@@ -44,7 +44,7 @@ TEST_F(DiskModelTest, RandomIopsInDiskClass) {
   const uint64_t ops = 1000;
   Lbn lbn = 1;
   for (uint64_t i = 0; i < ops; ++i) {
-    disk_.Read(lbn);
+    ASSERT_EQ(disk_.Read(lbn), Status::kOk);
     lbn = lbn * 2'654'435'761 % 100'000'000;  // scattered
   }
   const double iops = static_cast<double>(ops) * 1e6 / static_cast<double>(clock_.now_us());
@@ -53,15 +53,15 @@ TEST_F(DiskModelTest, RandomIopsInDiskClass) {
 }
 
 TEST_F(DiskModelTest, TokensRoundTrip) {
-  disk_.Write(42, 0xbeef);
+  ASSERT_EQ(disk_.Write(42, 0xbeef), Status::kOk);
   uint64_t token = 0;
-  disk_.Read(42, &token);
+  ASSERT_EQ(disk_.Read(42, &token), Status::kOk);
   EXPECT_EQ(token, 0xbeefu);
 }
 
 TEST_F(DiskModelTest, UnwrittenBlocksReturnOriginalToken) {
   uint64_t token = 0;
-  disk_.Read(777, &token);
+  ASSERT_EQ(disk_.Read(777, &token), Status::kOk);
   EXPECT_EQ(token, DiskModel::OriginalToken(777));
 }
 
@@ -75,13 +75,13 @@ TEST_F(DiskModelTest, WriteRunStoresAllTokensWithOneSeek) {
   DiskModel disk2(SingleDisk(), &clock2);
   for (size_t i = 0; i < tokens.size(); ++i) {
     // Force scattered singles for comparison.
-    disk2.Write(100 + i * 1'000'000, tokens[i]);
+    ASSERT_EQ(disk2.Write(100 + i * 1'000'000, tokens[i]), Status::kOk);
   }
   EXPECT_LT(run_cost * 2, clock2.now_us());
 
   for (size_t i = 0; i < tokens.size(); ++i) {
     uint64_t token = 0;
-    disk_.Read(100 + i, &token);
+    ASSERT_EQ(disk_.Read(100 + i, &token), Status::kOk);
     EXPECT_EQ(token, tokens[i]);
   }
 }
@@ -91,9 +91,9 @@ TEST_F(DiskModelTest, WriteRunRejectsEmpty) {
 }
 
 TEST_F(DiskModelTest, StatsAccumulate) {
-  disk_.Read(1);
-  disk_.Write(2, 0);
-  disk_.WriteRun(10, {1, 2, 3});
+  ASSERT_EQ(disk_.Read(1), Status::kOk);
+  ASSERT_EQ(disk_.Write(2, 0), Status::kOk);
+  ASSERT_EQ(disk_.WriteRun(10, {1, 2, 3}), Status::kOk);
   EXPECT_EQ(disk_.stats().reads, 1u);
   EXPECT_EQ(disk_.stats().writes, 2u);  // WriteRun counts as one access
   EXPECT_EQ(disk_.stats().busy_us, clock_.now_us());

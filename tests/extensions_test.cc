@@ -23,8 +23,8 @@ SscConfig SmallConfig() {
 TEST(ExistsDetailTest, ReportsPresenceDirtinessAndFrequency) {
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
-  ssc.WriteDirty(100, 1);
-  ssc.WriteClean(101, 2);
+  ASSERT_EQ(ssc.WriteDirty(100, 1), Status::kOk);
+  ASSERT_EQ(ssc.WriteClean(101, 2), Status::kOk);
   std::vector<SscDevice::BlockInfo> info;
   ssc.ExistsDetail(100, 3, &info);
   ASSERT_EQ(info.size(), 3u);
@@ -48,7 +48,7 @@ TEST(ExistsDetailTest, FrequencyGrowsWithBlockMappedReads) {
   }
   uint64_t token = 0;
   for (int i = 0; i < 10; ++i) {
-    ssc.Read(64, &token);  // offset into a block-mapped region
+    ASSERT_EQ(ssc.Read(64, &token), Status::kOk);  // offset into a block-mapped region
   }
   std::vector<SscDevice::BlockInfo> info;
   ssc.ExistsDetail(64, 1, &info);
@@ -86,7 +86,7 @@ TEST(BackgroundCollectTest, ReclaimsDeadSpaceWithinBudget) {
 TEST(BackgroundCollectTest, NoWorkNoCost) {
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
-  ssc.WriteDirty(1, 1);  // nothing evictable, nothing dead
+  ASSERT_EQ(ssc.WriteDirty(1, 1), Status::kOk);  // nothing evictable, nothing dead
   const uint64_t t0 = clock.now_us();
   EXPECT_EQ(ssc.BackgroundCollect(100'000), 0u);
   EXPECT_LT(clock.now_us() - t0, 5'000u);
@@ -126,7 +126,7 @@ TEST(WearLevelTest, NarrowsTheWearSpread) {
 TEST(WearLevelTest, NoOpWhenBalanced) {
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
-  ssc.WriteClean(1, 1);
+  ASSERT_EQ(ssc.WriteClean(1, 1), Status::kOk);
   EXPECT_FALSE(ssc.WearLevelOnce(1000));
 }
 
@@ -159,8 +159,8 @@ TEST(WriteBackChecksumTest, HostMemoryGrowsWithChecksums) {
   checked.verify_checksums = true;
   WbRig b(checked);
   for (Lbn lbn = 0; lbn < 200; ++lbn) {
-    a.manager.Write(lbn, lbn);
-    b.manager.Write(lbn, lbn);
+    ASSERT_EQ(a.manager.Write(lbn, lbn), Status::kOk);
+    ASSERT_EQ(b.manager.Write(lbn, lbn), Status::kOk);
   }
   EXPECT_GT(b.manager.HostMemoryUsage(), a.manager.HostMemoryUsage());
 }

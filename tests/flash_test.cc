@@ -123,15 +123,15 @@ TEST_F(FlashDeviceTest, SequenceNumbersAreMonotone) {
   OobRecord oob;
   Ppn a = kInvalidPpn;
   Ppn b = kInvalidPpn;
-  device_.ProgramPage(0, oob, 1, nullptr, &a);
-  device_.ProgramPage(3, oob, 2, nullptr, &b);
+  ASSERT_EQ(device_.ProgramPage(0, oob, 1, nullptr, &a), Status::kOk);
+  ASSERT_EQ(device_.ProgramPage(3, oob, 2, nullptr, &b), Status::kOk);
   EXPECT_LT(device_.oob(a).seq, device_.oob(b).seq);
 }
 
 TEST_F(FlashDeviceTest, MarkInvalidAndValidMaintainCounts) {
   OobRecord oob;
   Ppn ppn = kInvalidPpn;
-  device_.ProgramPage(0, oob, 1, nullptr, &ppn);
+  ASSERT_EQ(device_.ProgramPage(0, oob, 1, nullptr, &ppn), Status::kOk);
   EXPECT_EQ(device_.valid_pages(0), 1u);
   ASSERT_EQ(device_.MarkInvalid(ppn), Status::kOk);
   EXPECT_EQ(device_.valid_pages(0), 0u);
@@ -144,7 +144,7 @@ TEST_F(FlashDeviceTest, MarkInvalidAndValidMaintainCounts) {
 TEST_F(FlashDeviceTest, EraseResetsBlockAndCountsWear) {
   OobRecord oob;
   for (int i = 0; i < 5; ++i) {
-    device_.ProgramPage(0, oob, i, nullptr, nullptr);
+    ASSERT_EQ(device_.ProgramPage(0, oob, i, nullptr, nullptr), Status::kOk);
   }
   ASSERT_EQ(device_.EraseBlock(0), Status::kOk);
   EXPECT_EQ(device_.write_pointer(0), 0u);
@@ -158,10 +158,10 @@ TEST_F(FlashDeviceTest, EraseResetsBlockAndCountsWear) {
 
 TEST_F(FlashDeviceTest, SkipPageLeavesHole) {
   OobRecord oob;
-  device_.ProgramPage(0, oob, 1, nullptr, nullptr);
+  ASSERT_EQ(device_.ProgramPage(0, oob, 1, nullptr, nullptr), Status::kOk);
   ASSERT_EQ(device_.SkipPage(0), Status::kOk);
   Ppn ppn = kInvalidPpn;
-  device_.ProgramPage(0, oob, 3, nullptr, &ppn);
+  ASSERT_EQ(device_.ProgramPage(0, oob, 3, nullptr, &ppn), Status::kOk);
   EXPECT_EQ(ppn, 2u);  // page 1 skipped
   EXPECT_EQ(device_.page_state(1), PageState::kFree);
   EXPECT_EQ(device_.valid_pages(0), 2u);
@@ -171,7 +171,7 @@ TEST_F(FlashDeviceTest, CopyPagePreservesContentAndInvalidatesSource) {
   OobRecord oob;
   oob.lbn = 55;
   Ppn src = kInvalidPpn;
-  device_.ProgramPage(0, oob, 0x5555, nullptr, &src);
+  ASSERT_EQ(device_.ProgramPage(0, oob, 0x5555, nullptr, &src), Status::kOk);
   const uint64_t src_seq = device_.oob(src).seq;
   Ppn dst = kInvalidPpn;
   ASSERT_EQ(device_.CopyPage(src, 1, &dst), Status::kOk);
@@ -188,8 +188,8 @@ TEST_F(FlashDeviceTest, CopyPagePreservesContentAndInvalidatesSource) {
 TEST_F(FlashDeviceTest, CopyPageRejectsInvalidSource) {
   OobRecord oob;
   Ppn src = kInvalidPpn;
-  device_.ProgramPage(0, oob, 1, nullptr, &src);
-  device_.MarkInvalid(src);
+  ASSERT_EQ(device_.ProgramPage(0, oob, 1, nullptr, &src), Status::kOk);
+  ASSERT_EQ(device_.MarkInvalid(src), Status::kOk);
   EXPECT_EQ(device_.CopyPage(src, 1, nullptr), Status::kInvalidArgument);
 }
 
@@ -198,23 +198,23 @@ TEST_F(FlashDeviceTest, TimingChargesMatchTable2) {
   OobRecord oob;
   Ppn ppn = kInvalidPpn;
   const uint64_t t0 = clock_.now_us();
-  device_.ProgramPage(0, oob, 1, nullptr, &ppn);
+  ASSERT_EQ(device_.ProgramPage(0, oob, 1, nullptr, &ppn), Status::kOk);
   EXPECT_EQ(clock_.now_us() - t0, t.WriteCostUs());
   const uint64_t t1 = clock_.now_us();
-  device_.ReadPage(ppn, nullptr, nullptr, nullptr);
+  ASSERT_EQ(device_.ReadPage(ppn, nullptr, nullptr, nullptr), Status::kOk);
   EXPECT_EQ(clock_.now_us() - t1, t.ReadCostUs());
   const uint64_t t2 = clock_.now_us();
-  device_.EraseBlock(1);
+  ASSERT_EQ(device_.EraseBlock(1), Status::kOk);
   EXPECT_EQ(clock_.now_us() - t2, t.EraseCostUs());
   EXPECT_EQ(device_.stats().busy_us, clock_.now_us());
 }
 
 TEST_F(FlashDeviceTest, WearDiffTracksImbalance) {
   EXPECT_EQ(device_.MaxWearDiff(), 0u);
-  device_.EraseBlock(0);
-  device_.EraseBlock(0);
-  device_.EraseBlock(0);
-  device_.EraseBlock(1);
+  ASSERT_EQ(device_.EraseBlock(0), Status::kOk);
+  ASSERT_EQ(device_.EraseBlock(0), Status::kOk);
+  ASSERT_EQ(device_.EraseBlock(0), Status::kOk);
+  ASSERT_EQ(device_.EraseBlock(1), Status::kOk);
   EXPECT_EQ(device_.MaxWearDiff(), 3u);
   EXPECT_EQ(device_.TotalErases(), 4u);
 }
@@ -248,11 +248,11 @@ TEST(FlashDeviceDataTest, EraseDropsStoredPayload) {
   std::vector<uint8_t> payload(g.page_size, 0xee);
   OobRecord oob;
   Ppn ppn = kInvalidPpn;
-  device.ProgramPage(0, oob, 1, payload.data(), &ppn);
-  device.EraseBlock(0);
-  device.ProgramPage(0, oob, 2, nullptr, &ppn);
+  ASSERT_EQ(device.ProgramPage(0, oob, 1, payload.data(), &ppn), Status::kOk);
+  ASSERT_EQ(device.EraseBlock(0), Status::kOk);
+  ASSERT_EQ(device.ProgramPage(0, oob, 2, nullptr, &ppn), Status::kOk);
   std::vector<uint8_t> out(g.page_size, 0xaa);
-  device.ReadPage(ppn, nullptr, nullptr, out.data());
+  ASSERT_EQ(device.ReadPage(ppn, nullptr, nullptr, out.data()), Status::kOk);
   EXPECT_EQ(out, std::vector<uint8_t>(g.page_size, 0));  // zero-fill, not old data
 }
 

@@ -91,7 +91,7 @@ TEST(CrashRecoveryIntegrationTest, SscWriteBackSurvivesCrashMidReplay) {
       oracle[r.lbn] = token;
     } else {
       uint64_t token = 0;
-      system.manager().Read(r.lbn, &token);
+      (void)system.manager().Read(r.lbn, &token);
     }
     ++seq;
   }
@@ -116,7 +116,7 @@ TEST(CrashRecoveryIntegrationTest, SscWriteBackSurvivesCrashMidReplay) {
       oracle[r.lbn] = token;
     } else {
       uint64_t token = 0;
-      system.manager().Read(r.lbn, &token);
+      (void)system.manager().Read(r.lbn, &token);
     }
     ++seq;
   }

@@ -1,0 +1,29 @@
+// Fixture: durability-hook indiscipline. Three violations: an open-coded
+// BeginAtomicBatch/EndAtomicBatch pair (a crash-hook throw between them
+// would wedge the batch depth), a kFlushStart fired without its kFlushDone,
+// and a RecoveryPoint::kStart with no kDone anywhere in the file.
+
+namespace flashtier {
+
+enum class CommitPoint { kFlushStart, kFlushDone };
+enum class RecoveryPoint { kStart, kDone };
+
+class PersistenceManager {
+ public:
+  void BeginAtomicBatch();
+  void EndAtomicBatch();
+  void AtCommitPoint(CommitPoint p);
+  void NotifyRecoveryPoint(RecoveryPoint p);
+};
+
+void SloppyFlush(PersistenceManager* pm) {
+  pm->BeginAtomicBatch();
+  pm->AtCommitPoint(CommitPoint::kFlushStart);
+  pm->EndAtomicBatch();
+}
+
+void SloppyRecover(PersistenceManager* pm) {
+  pm->NotifyRecoveryPoint(RecoveryPoint::kStart);
+}
+
+}  // namespace flashtier

@@ -1,0 +1,37 @@
+// Fixture: durability-hook discipline done right — the batch is bracketed by
+// the RAII scope (which unwinds through crash-hook throws), the flush window
+// fires both its start and done points, and recovery fires kStart and kDone.
+// Nothing here may be flagged.
+
+namespace flashtier {
+
+enum class CommitPoint { kFlushStart, kFlushDone };
+enum class RecoveryPoint { kStart, kDone };
+
+class PersistenceManager {
+ public:
+  void AtCommitPoint(CommitPoint p);
+  void NotifyRecoveryPoint(RecoveryPoint p);
+
+  class AtomicBatchScope {
+   public:
+    explicit AtomicBatchScope(PersistenceManager* pm) : pm_(pm) {}
+    ~AtomicBatchScope();
+
+   private:
+    PersistenceManager* pm_;
+  };
+};
+
+void CarefulFlush(PersistenceManager* pm) {
+  PersistenceManager::AtomicBatchScope batch(pm);
+  pm->AtCommitPoint(CommitPoint::kFlushStart);
+  pm->AtCommitPoint(CommitPoint::kFlushDone);
+}
+
+void CarefulRecover(PersistenceManager* pm) {
+  pm->NotifyRecoveryPoint(RecoveryPoint::kStart);
+  pm->NotifyRecoveryPoint(RecoveryPoint::kDone);
+}
+
+}  // namespace flashtier

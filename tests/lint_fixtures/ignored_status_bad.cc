@@ -1,0 +1,20 @@
+// Fixture: discarded Status results. Both bare-statement calls below drop a
+// must-check verdict and must be flagged.
+#include <cstdint>
+
+namespace flashtier {
+
+enum class Status : uint8_t { kOk, kIoError };
+
+class Device {
+ public:
+  Status Write(uint64_t lbn, uint64_t token);
+  Status Recover();
+};
+
+void DriveWithoutLooking(Device* dev) {
+  dev->Write(1, 100);
+  dev->Recover();
+}
+
+}  // namespace flashtier

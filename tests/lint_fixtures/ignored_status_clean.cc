@@ -1,0 +1,33 @@
+// Fixture: every Status verdict is consumed — branched on, returned,
+// asserted, or deliberately discarded with a spelled-out (void). Nothing
+// here may be flagged.
+#include <cassert>
+#include <cstdint>
+
+namespace flashtier {
+
+enum class Status : uint8_t { kOk, kIoError };
+
+inline bool IsOk(Status s) { return s == Status::kOk; }
+inline void AssertOk(Status s) {
+  assert(IsOk(s));
+  (void)s;
+}
+
+class Device {
+ public:
+  Status Write(uint64_t lbn, uint64_t token);
+  Status Recover();
+};
+
+Status DriveCarefully(Device* dev) {
+  if (!IsOk(dev->Write(1, 100))) {
+    return Status::kIoError;
+  }
+  AssertOk(dev->Write(2, 200));
+  // Probe write: the capacity sweep measures how many succeed.
+  (void)dev->Write(3, 300);
+  return dev->Recover();
+}
+
+}  // namespace flashtier

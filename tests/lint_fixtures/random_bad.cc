@@ -1,0 +1,22 @@
+// Fixture: unseeded entropy sources. Each one makes a replay unrepeatable,
+// so each must be flagged.
+#include <cstdlib>
+#include <random>
+
+namespace flashtier {
+
+unsigned NoisySeed() {
+  std::random_device rd;
+  return rd();
+}
+
+int NoisyPick(int n) {
+  srand(42u);
+  return rand() % n;
+}
+
+double NoisyFraction() {
+  return drand48();
+}
+
+}  // namespace flashtier

@@ -1,0 +1,22 @@
+// Fixture: the sanctioned randomness idiom — a Mersenne Twister seeded from
+// workload configuration, so every replay of the same profile draws the same
+// sequence. Nothing here may be flagged.
+#include <cstdint>
+#include <random>
+
+namespace flashtier {
+
+class SeededStream {
+ public:
+  explicit SeededStream(uint64_t seed) : rng_(seed) {}
+
+  uint64_t Next(uint64_t bound) {
+    std::uniform_int_distribution<uint64_t> dist(0, bound - 1);
+    return dist(rng_);
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace flashtier

@@ -1,0 +1,25 @@
+// Fixture: range-for directly over unordered containers. Iteration order is
+// implementation-defined, so stats or persistence built from these walks
+// diverge across stdlibs and hash seeds; both loops must be flagged.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace flashtier {
+
+uint64_t ChecksumInVisitOrder(const std::unordered_map<uint64_t, uint64_t>& map) {
+  std::unordered_set<uint64_t> seen;
+  uint64_t mix = 0;
+  for (const auto& [lbn, token] : map) {
+    mix = mix * 31 + lbn;
+    seen.insert(token);
+  }
+  std::vector<uint64_t> order;
+  for (uint64_t t : seen) {
+    order.push_back(t);
+  }
+  return mix + order.size();
+}
+
+}  // namespace flashtier

@@ -1,0 +1,26 @@
+// Fixture: deterministic walks of unordered containers — keys are copied out
+// and sorted before any order-sensitive consumption. Nothing here may be
+// flagged.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace flashtier {
+
+uint64_t ChecksumInKeyOrder(const std::unordered_map<uint64_t, uint64_t>& map) {
+  std::vector<uint64_t> keys;
+  keys.reserve(map.size());
+  // flashlint: allow(unordered-iter): keys are sorted below, order-free
+  for (const auto& [lbn, token] : map) {
+    keys.push_back(lbn);
+  }
+  std::sort(keys.begin(), keys.end());
+  uint64_t mix = 0;
+  for (uint64_t lbn : keys) {
+    mix = mix * 31 + lbn;
+  }
+  return mix;
+}
+
+}  // namespace flashtier

@@ -1,0 +1,22 @@
+// Fixture: wall-clock time sources inside simulation code. Every line below
+// that reads host time must be flagged — the simulator's metrics are defined
+// over SimClock virtual time only.
+#include <chrono>
+#include <ctime>
+
+namespace flashtier {
+
+uint64_t HowLongDidThatTake() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::high_resolution_clock::now();
+  (void)t0;
+  (void)t1;
+  return static_cast<uint64_t>(time(nullptr));
+}
+
+uint64_t WallStamp() {
+  return static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+}  // namespace flashtier

@@ -1,0 +1,24 @@
+// Fixture: clean timekeeping. Virtual time from the simulation clock is the
+// sanctioned source, and one deliberate host-time read is whitelisted with a
+// reasoned allow directive (the ReplayEngine wall_clock_us idiom).
+#include <chrono>
+#include <cstdint>
+
+namespace flashtier {
+
+struct SimClock {
+  uint64_t now = 0;
+  uint64_t now_us() const { return now; }
+};
+
+uint64_t ElapsedVirtualUs(const SimClock& clock, uint64_t start_us) {
+  return clock.now_us() - start_us;
+}
+
+uint64_t HostThroughputStamp() {
+  // flashlint: allow(wall-clock): host-side throughput measurement
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(t.time_since_epoch().count());
+}
+
+}  // namespace flashtier

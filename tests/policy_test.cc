@@ -270,7 +270,7 @@ TEST(PolicyIntegrationTest, WriteThroughRejectEvictsStaleCopy) {
   // cached version 10, not leave it to serve stale reads.
   policy.OnEvict(1);  // no-op for ghost-lru, but exercise the hook
   for (Lbn lbn = 1000; lbn < 1200; ++lbn) {
-    manager.Write(lbn, lbn);
+    ASSERT_EQ(manager.Write(lbn, lbn), Status::kOk);
   }
   ASSERT_FALSE(policy.ghost().Contains(1));
   ASSERT_EQ(manager.Write(1, 20), Status::kOk);  // rejected: bypass + evict
@@ -312,7 +312,7 @@ TEST(PolicyIntegrationTest, WriteBackRejectWritesAroundDurably) {
   // A resident dirty block is always re-admitted (no forced eviction of
   // dirty data just because the ghost window moved on).
   for (Lbn lbn = 2000; lbn < 2200; ++lbn) {
-    manager.Write(lbn, lbn);
+    ASSERT_EQ(manager.Write(lbn, lbn), Status::kOk);
   }
   ASSERT_EQ(manager.Write(2, 9), Status::kOk);
   ASSERT_EQ(ssc.Read(2, &token), Status::kOk);

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/check/invariant_checker.h"
@@ -210,6 +212,34 @@ TEST(ParallelReplayTest, ThreadsClampedToShardCount) {
   EXPECT_EQ(run.metrics.stale_reads, 0u);
   EXPECT_GT(run.metrics.wall_clock_us, 0u);
   EXPECT_GT(run.metrics.ReplayOpsPerSec(), 0.0);
+}
+
+// An exception escaping a std::thread body is std::terminate, so a device
+// fault thrown inside a replay worker used to kill the whole process. The
+// engine must park the first failure and rethrow it on the coordinating
+// thread after all workers have joined.
+TEST(ParallelReplayTest, WorkerExceptionPropagatesToCaller) {
+  SystemConfig config;
+  config.type = SystemType::kSscWriteBack;
+  config.cache_pages = 8192;
+  config.shards = 4;
+  FlashTierSystem system(config);
+  for (uint32_t i = 0; i < system.shard_count(); ++i) {
+    system.shard(i).ssc->persist_for_testing()->set_commit_point_hook_for_testing(
+        [](CommitPoint) { throw std::runtime_error("injected device fault"); });
+  }
+  SyntheticWorkload workload(TestProfile());
+  ReplayEngine::Options opts;
+  opts.threads = 4;
+  ReplayEngine engine(&system, opts);
+  try {
+    (void)engine.Run(workload);
+    FAIL() << "worker exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("replay worker failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("injected device fault"), std::string::npos) << what;
+  }
 }
 
 TEST(ParallelReplayTest, ShardedSystemPassesPartitionAudit) {

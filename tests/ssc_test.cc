@@ -48,7 +48,7 @@ TEST(SscInterfaceTest, ReadAfterEvictReturnsNotPresent) {
   // Guarantee G3.
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
-  ssc.WriteDirty(7, 1);
+  ASSERT_EQ(ssc.WriteDirty(7, 1), Status::kOk);
   ASSERT_EQ(ssc.Evict(7), Status::kOk);
   uint64_t token = 0;
   EXPECT_EQ(ssc.Read(7, &token), Status::kNotPresent);
@@ -61,9 +61,9 @@ TEST(SscInterfaceTest, ReadAfterEvictReturnsNotPresent) {
 TEST(SscInterfaceTest, OverwriteReturnsNewest) {
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
-  ssc.WriteClean(9, 1);
-  ssc.WriteDirty(9, 2);
-  ssc.WriteClean(9, 3);
+  ASSERT_EQ(ssc.WriteClean(9, 1), Status::kOk);
+  ASSERT_EQ(ssc.WriteDirty(9, 2), Status::kOk);
+  ASSERT_EQ(ssc.WriteClean(9, 3), Status::kOk);
   uint64_t token = 0;
   ASSERT_EQ(ssc.Read(9, &token), Status::kOk);
   EXPECT_EQ(token, 3u);
@@ -74,7 +74,7 @@ TEST(SscInterfaceTest, OverwriteReturnsNewest) {
 TEST(SscInterfaceTest, CleanMarksBlockEvictableWithoutTouchingData) {
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
-  ssc.WriteDirty(11, 5);
+  ASSERT_EQ(ssc.WriteDirty(11, 5), Status::kOk);
   EXPECT_EQ(ssc.dirty_pages(), 1u);
   ASSERT_EQ(ssc.Clean(11), Status::kOk);
   EXPECT_EQ(ssc.dirty_pages(), 0u);
@@ -87,12 +87,12 @@ TEST(SscInterfaceTest, CleanMarksBlockEvictableWithoutTouchingData) {
 TEST(SscInterfaceTest, ExistsReportsOnlyPresentAndDirty) {
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
-  ssc.WriteDirty(100, 1);
-  ssc.WriteClean(101, 2);
-  ssc.WriteDirty(102, 3);
-  ssc.Clean(102);
-  ssc.WriteDirty(103, 4);
-  ssc.Evict(103);
+  ASSERT_EQ(ssc.WriteDirty(100, 1), Status::kOk);
+  ASSERT_EQ(ssc.WriteClean(101, 2), Status::kOk);
+  ASSERT_EQ(ssc.WriteDirty(102, 3), Status::kOk);
+  ASSERT_EQ(ssc.Clean(102), Status::kOk);
+  ASSERT_EQ(ssc.WriteDirty(103, 4), Status::kOk);
+  ASSERT_EQ(ssc.Evict(103), Status::kOk);
   Bitmap dirty;
   ssc.Exists(100, 8, &dirty);
   EXPECT_TRUE(dirty.Test(0));   // dirty
@@ -202,7 +202,7 @@ TEST(SscEvictionTest, CleaningUnblocksAFullDirtyCache) {
     ++i;
   }
   for (uint64_t j = 0; j < i; ++j) {
-    ssc.Clean(j);
+    ASSERT_EQ(ssc.Clean(j), Status::kOk);
   }
   // Now there are eviction candidates again.
   EXPECT_EQ(ssc.WriteDirty(i, i), Status::kOk);
@@ -216,8 +216,8 @@ TEST(SscEvictionTest, SeMergeGrowsLogBeyondSeUtilReserve) {
   Rng rng(3);
   for (uint64_t i = 0; i < 20'000; ++i) {
     const Lbn lbn = rng.Below(1536);
-    util.WriteClean(lbn, i);
-    merge.WriteClean(lbn, i);
+    ASSERT_EQ(util.WriteClean(lbn, i), Status::kOk);
+    ASSERT_EQ(merge.WriteClean(lbn, i), Status::kOk);
   }
   // SE-Util is capped at the fixed 7% reserve; SE-Merge may float to 20%.
   const uint64_t cap_blocks = SmallConfig().capacity_pages / 64;
@@ -316,7 +316,7 @@ TEST(SscCrashTest, EvictionsSurviveCrash) {
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
   for (uint64_t i = 0; i < 100; ++i) {
-    ssc.WriteDirty(i, i);
+    ASSERT_EQ(ssc.WriteDirty(i, i), Status::kOk);
   }
   for (uint64_t i = 0; i < 100; i += 2) {
     ASSERT_EQ(ssc.Evict(i), Status::kOk);
@@ -341,8 +341,8 @@ TEST(SscCrashTest, CleanedBlocksMayReturnToDirtyButNothingIsLost) {
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
   for (uint64_t i = 0; i < 50; ++i) {
-    ssc.WriteDirty(i, i + 1);
-    ssc.Clean(i);
+    ASSERT_EQ(ssc.WriteDirty(i, i + 1), Status::kOk);
+    ASSERT_EQ(ssc.Clean(i), Status::kOk);
   }
   ssc.SimulateCrash();
   ASSERT_EQ(ssc.Recover(), Status::kOk);
@@ -357,7 +357,7 @@ TEST(SscCrashTest, NoConsistencyModeLosesEverything) {
   SimClock clock;
   SscDevice ssc(SmallConfig(EvictionPolicy::kSeUtil, ConsistencyMode::kNone), &clock);
   for (uint64_t i = 0; i < 100; ++i) {
-    ssc.WriteClean(i, i);
+    ASSERT_EQ(ssc.WriteClean(i, i), Status::kOk);
   }
   ssc.SimulateCrash();
   ASSERT_EQ(ssc.Recover(), Status::kOk);
@@ -398,16 +398,17 @@ TEST(SscCrashTest, DeviceKeepsOperatingAfterRecovery) {
   SimClock clock;
   SscDevice ssc(SmallConfig(), &clock);
   for (uint64_t i = 0; i < 1000; ++i) {
-    ssc.WriteDirty(i, i);
+    ASSERT_EQ(ssc.WriteDirty(i, i), Status::kOk);
   }
   ssc.SimulateCrash();
   ASSERT_EQ(ssc.Recover(), Status::kOk);
   // Keep writing well past capacity; GC and merges must work on recovered
   // metadata.
   for (uint64_t i = 0; i < 4000; ++i) {
-    ssc.Clean(i);
+    // Post-recovery only a subset of LBNs is resident; a miss is fine.
+    (void)ssc.Clean(i);
     ASSERT_EQ(ssc.WriteDirty(i + 10'000'000, i), Status::kOk);
-    ssc.Clean(i + 10'000'000);
+    ASSERT_EQ(ssc.Clean(i + 10'000'000), Status::kOk);
   }
   EXPECT_GT(ssc.ftl_stats().silent_evictions, 0u);
 }
@@ -449,7 +450,8 @@ TEST_P(SscCrashPropertyTest, GuaranteesHoldAtArbitraryCrashPoints) {
         ASSERT_EQ(s, Status::kNoSpace);
       }
     } else if (roll < 85) {
-      ssc.Clean(lbn);
+      // Cleaning an absent block is a legal no-op in the mix.
+      (void)ssc.Clean(lbn);
       dirty.erase(lbn);
     } else if (roll < 90) {
       ASSERT_EQ(ssc.Evict(lbn), Status::kOk);
@@ -457,7 +459,7 @@ TEST_P(SscCrashPropertyTest, GuaranteesHoldAtArbitraryCrashPoints) {
       dirty.erase(lbn);
     } else {
       uint64_t token = 0;
-      ssc.Read(lbn, &token);
+      (void)ssc.Read(lbn, &token);  // miss or hit; the oracle checks decide
     }
   }
 
@@ -491,7 +493,7 @@ TEST(SscMemoryTest, SparseMapMemoryTracksCachedDataNotAddressSpace) {
   SscDevice ssc(SmallConfig(), &clock);
   const size_t empty = ssc.DeviceMemoryUsage();
   for (uint64_t i = 0; i < 1000; ++i) {
-    ssc.WriteClean(i * (1ull << 40), i);  // petabyte-scale addresses
+    ASSERT_EQ(ssc.WriteClean(i * (1ull << 40), i), Status::kOk);  // petabyte-scale addresses
   }
   const size_t used = ssc.DeviceMemoryUsage();
   EXPECT_GT(used, empty);

@@ -29,9 +29,9 @@ TEST(BlockAllocatorTest, AllocatesWearMinimumAndBalancesPlanes) {
   SimClock clock;
   FlashDevice device(g, FlashTimings{}, &clock);
   // Pre-wear block 0 heavily.
-  device.EraseBlock(0);
-  device.EraseBlock(0);
-  device.EraseBlock(0);
+  ASSERT_EQ(device.EraseBlock(0), Status::kOk);
+  ASSERT_EQ(device.EraseBlock(0), Status::kOk);
+  ASSERT_EQ(device.EraseBlock(0), Status::kOk);
   BlockAllocator alloc(device, /*reserved_blocks=*/0);
   EXPECT_EQ(alloc.FreeCount(), 8u);
   // First allocation must avoid the worn block.
@@ -94,7 +94,7 @@ TEST(SsdFtlTest, OverwriteReturnsNewestVersion) {
 TEST(SsdFtlTest, TrimRemovesBlock) {
   SimClock clock;
   SsdFtl ssd(kSmallPages, &clock, SmallOptions());
-  ssd.Write(9, 1);
+  ASSERT_EQ(ssd.Write(9, 1), Status::kOk);
   ASSERT_EQ(ssd.Trim(9), Status::kOk);
   uint64_t token = 0;
   EXPECT_EQ(ssd.Read(9, &token), Status::kNotPresent);
@@ -182,7 +182,7 @@ TEST(SsdFtlTest, WearStaysBalanced) {
   SsdFtl ssd(1024, &clock, SmallOptions());
   Rng rng(31);
   for (uint64_t i = 0; i < 60'000; ++i) {
-    ssd.Write(rng.Below(1024), i);
+    ASSERT_EQ(ssd.Write(rng.Below(1024), i), Status::kOk);
   }
   const uint64_t erases = ssd.flash_stats().erases;
   ASSERT_GT(erases, 50u);
@@ -215,7 +215,7 @@ TEST(SsdFtlTest, TimingChargedToSharedClock) {
   SimClock clock;
   SsdFtl ssd(kSmallPages, &clock, SmallOptions());
   const uint64_t t0 = clock.now_us();
-  ssd.Write(1, 1);
+  ASSERT_EQ(ssd.Write(1, 1), Status::kOk);
   EXPECT_GT(clock.now_us(), t0);
 }
 

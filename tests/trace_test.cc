@@ -69,7 +69,7 @@ TEST_F(TraceFileTest, DetectsCorruption) {
   TraceFileWriter writer;
   ASSERT_EQ(writer.Open(path_), Status::kOk);
   for (uint64_t i = 0; i < 100; ++i) {
-    writer.Append({i, TraceOp::kWrite});
+    ASSERT_EQ(writer.Append({i, TraceOp::kWrite}), Status::kOk);
   }
   ASSERT_EQ(writer.Close(), Status::kOk);
   // Flip one byte in the middle of the record area.

@@ -1,0 +1,84 @@
+// flashlint CLI: lints the given files/directories as one tree.
+//
+//   flashlint src tools bench          # the canonical pre-commit invocation
+//   flashlint src/core/replay.cc       # a single file
+//
+// Exit status: 0 when clean, 1 when violations were found, 2 on usage or
+// I/O errors. Violations print as `path:line: rule: message`.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/flashlint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: flashlint <file-or-dir>...\n";
+    return 2;
+  }
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() &&
+            flashtier::lint::IsLintablePath(entry.path().string())) {
+          paths.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      paths.push_back(root.string());
+    } else {
+      std::cerr << "flashlint: no such file or directory: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<flashtier::lint::FileInput> files;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) {
+    flashtier::lint::FileInput f;
+    f.path = p;
+    if (!ReadFile(p, &f.content)) {
+      std::cerr << "flashlint: cannot read " << p << "\n";
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+
+  const std::vector<flashtier::lint::Violation> violations =
+      flashtier::lint::LintTree(files);
+  for (const auto& v : violations) {
+    std::cout << flashtier::lint::FormatViolation(v) << "\n";
+  }
+  if (!violations.empty()) {
+    std::cout << violations.size() << " violation" << (violations.size() == 1 ? "" : "s")
+              << " in " << files.size() << " files\n";
+    return 1;
+  }
+  return 0;
+}
