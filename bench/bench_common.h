@@ -138,7 +138,8 @@ inline PolicyConfig GetAdmissionConfig(ArgParser& args) {
                  KnownAdmissionNames());
     std::exit(2);
   }
-  config.seed = static_cast<uint64_t>(args.GetInt("admission-seed", static_cast<int64_t>(config.seed)));
+  config.seed =
+      static_cast<uint64_t>(args.GetInt("admission-seed", static_cast<int64_t>(config.seed)));
   config.ghost_entries =
       static_cast<uint32_t>(args.GetPositiveInt("ghost-entries", config.ghost_entries));
   config.ghost_required_misses =
@@ -180,7 +181,8 @@ inline RunResult ReplayWorkload(const WorkloadProfile& profile, const SystemConf
   result.mean_response_us = result.metrics.MeanResponseUs();
   if (result.metrics.stale_reads != 0) {
     std::printf("!! %llu STALE READS in %s — correctness bug\n",
-                (unsigned long long)result.metrics.stale_reads, SystemTypeName(config.type).c_str());
+                (unsigned long long)result.metrics.stale_reads,
+                SystemTypeName(config.type).c_str());
   }
   return result;
 }

@@ -96,6 +96,8 @@ bool DirtyTable::Erase(Lbn lbn) {
   return false;
 }
 
-Lbn DirtyTable::LruBlock() const { return lru_tail_ == kNil ? kInvalidLbn : entries_[lru_tail_].lbn; }
+Lbn DirtyTable::LruBlock() const {
+  return lru_tail_ == kNil ? kInvalidLbn : entries_[lru_tail_].lbn;
+}
 
 }  // namespace flashtier

@@ -51,7 +51,9 @@ class LatencyHistogram {
   }
 
   uint64_t count() const { return count_; }
-  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
   uint64_t max() const { return max_; }
 
   // Upper bound of the bucket containing the q-th quantile (q in [0,1]).

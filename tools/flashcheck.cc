@@ -115,10 +115,10 @@ int main(int argc, char** argv) {
 
   flashtier::CrashExplorerOptions options;
   options.ops = static_cast<uint32_t>(args.GetInt("ops", options.ops));
-  options.capacity_pages =
-      static_cast<uint64_t>(args.GetInt("capacity-pages", static_cast<int64_t>(options.capacity_pages)));
-  options.address_blocks =
-      static_cast<uint64_t>(args.GetInt("address-blocks", static_cast<int64_t>(options.address_blocks)));
+  options.capacity_pages = static_cast<uint64_t>(
+      args.GetInt("capacity-pages", static_cast<int64_t>(options.capacity_pages)));
+  options.address_blocks = static_cast<uint64_t>(
+      args.GetInt("address-blocks", static_cast<int64_t>(options.address_blocks)));
   // --shards=N explores a sharded SSC: capacity is split across N LBN-hash
   // partitioned devices, a crash hits them all at once, and the partition-
   // disjointness invariant is audited next to G1-G3. Default 1 = classic
