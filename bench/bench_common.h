@@ -216,7 +216,9 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
                "\"replay_ops_per_sec\":%.1f,"
                "\"manager\":{\"read_hits\":%llu,\"read_misses\":%llu,\"writebacks\":%llu,"
                "\"evicts\":%llu,\"read_errors\":%llu,\"lost_dirty\":%llu,"
-               "\"degraded_entries\":%llu,\"pass_through_writes\":%llu}",
+               "\"degraded_entries\":%llu,\"pass_through_writes\":%llu,"
+               "\"rescued_reads\":%llu,\"disk_io_errors\":%llu,\"parked_writebacks\":%llu,"
+               "\"scrub_repairs\":%llu,\"disk_degraded_entries\":%llu}",
                bench, profile.name.c_str(), SystemTypeName(config.type).c_str(),
                system->admission_name(), result.iops,
                result.mean_response_us, (unsigned long long)result.metrics.requests,
@@ -230,7 +232,25 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
                (unsigned long long)m.writebacks, (unsigned long long)m.evicts,
                (unsigned long long)m.read_errors, (unsigned long long)m.lost_dirty,
                (unsigned long long)m.degraded_entries,
-               (unsigned long long)m.pass_through_writes);
+               (unsigned long long)m.pass_through_writes,
+               (unsigned long long)m.rescued_reads, (unsigned long long)m.disk_io_errors,
+               (unsigned long long)m.parked_writebacks, (unsigned long long)m.scrub_repairs,
+               (unsigned long long)m.disk_degraded_entries);
+  // Disk-tier counters (DESIGN.md §5i): every system has a disk, so the
+  // block is always present; without a DiskFaultPlan the fault, retry and
+  // repair counters are simply zero.
+  const DiskStats d = system->AggregateDiskStats();
+  std::fprintf(f,
+               ",\"disk\":{\"reads\":%llu,\"writes\":%llu,\"busy_us\":%llu,"
+               "\"read_faults\":%llu,\"write_faults\":%llu,\"latent_errors\":%llu,"
+               "\"latent_sectors\":%llu,\"sector_repairs\":%llu,\"slow_ios\":%llu,"
+               "\"retries\":%llu,\"timeouts\":%llu}",
+               (unsigned long long)d.reads, (unsigned long long)d.writes,
+               (unsigned long long)d.busy_us, (unsigned long long)d.read_faults,
+               (unsigned long long)d.write_faults, (unsigned long long)d.latent_errors,
+               (unsigned long long)d.latent_sectors, (unsigned long long)d.sector_repairs,
+               (unsigned long long)d.slow_ios, (unsigned long long)d.retries,
+               (unsigned long long)d.timeouts);
   // Admission-policy counters (summed across shards, like everything else).
   // Present for every run — with the default admit-all, rejects and the
   // regret counter are zero and admits equals the insertions performed.

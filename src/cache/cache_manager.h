@@ -35,6 +35,13 @@ struct ManagerStats {
   uint64_t degraded_entries = 0;    // times the manager tripped into pass-through
   uint64_t pass_through_writes = 0; // writes served by disk because the cache failed
 
+  // Disk-tier fault handling (DiskFaultPlan injection; see DESIGN.md §5i).
+  uint64_t rescued_reads = 0;         // cache hits whose disk sector is latent-bad
+  uint64_t disk_io_errors = 0;        // host ops failed by the disk after retries
+  uint64_t parked_writebacks = 0;     // failed writebacks re-dirtied and parked
+  uint64_t scrub_repairs = 0;         // latent sectors repaired from cached copies
+  uint64_t disk_degraded_entries = 0; // times the manager entered disk-degraded mode
+
   // Accumulates another manager's counters (used to aggregate the per-shard
   // managers of a sharded system into one host-visible view).
   void Merge(const ManagerStats& o) {
@@ -50,6 +57,11 @@ struct ManagerStats {
     lost_dirty += o.lost_dirty;
     degraded_entries += o.degraded_entries;
     pass_through_writes += o.pass_through_writes;
+    rescued_reads += o.rescued_reads;
+    disk_io_errors += o.disk_io_errors;
+    parked_writebacks += o.parked_writebacks;
+    scrub_repairs += o.scrub_repairs;
+    disk_degraded_entries += o.disk_degraded_entries;
   }
 
   double HitRate() const {
@@ -83,6 +95,16 @@ class CacheManager {
   // before every cache insertion. With no policy the manager admits
   // unconditionally and makes zero policy calls — the pre-policy behaviour.
   virtual void set_admission_policy(AdmissionPolicy* policy) { (void)policy; }
+
+  // Background scrub pass (DESIGN.md §5i): repairs up to `max_sectors` of
+  // the disk's latent sectors from cached copies (a cached token — clean or
+  // dirty — is acknowledged data, so rewriting it heals the sector without
+  // changing what any read may return). Returns sectors repaired; managers
+  // without a repair source report 0.
+  virtual uint64_t ScrubDisk(uint32_t max_sectors) {
+    (void)max_sectors;
+    return 0;
+  }
 };
 
 }  // namespace flashtier

@@ -36,6 +36,19 @@ class DirtyTable {
   // Least-recently-used dirty block; kInvalidLbn if empty.
   Lbn LruBlock() const;
 
+  // Least-recently-used dirty block satisfying `pred`, walking from the LRU
+  // end; kInvalidLbn if none. Used to pick cleaning victims while skipping
+  // blocks parked on the writeback retry queue.
+  template <typename Pred>
+  Lbn LruBlockWhere(Pred&& pred) const {
+    for (uint32_t slot = lru_tail_; slot != kNil; slot = entries_[slot].lru_prev) {
+      if (pred(entries_[slot].lbn)) {
+        return entries_[slot].lbn;
+      }
+    }
+    return kInvalidLbn;
+  }
+
   // Calls fn(lbn) for every entry (unspecified order).
   template <typename Fn>
   void ForEach(Fn&& fn) const {

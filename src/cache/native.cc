@@ -103,7 +103,10 @@ Status NativeCacheManager::WriteBackSlot(uint32_t set, uint16_t way) {
     }
     return rs;
   }
-  if (Status ds = disk_->Write(s.lbn, token); !IsOk(ds)) {
+  if (Status ds = disk_->GuardedWrite(s.lbn, token); !IsOk(ds)) {
+    // The disk refused the writeback even after retries. The block stays
+    // dirty (and cached); the caller decides whether to defer or refuse.
+    ++stats_.disk_io_errors;
     return ds;
   }
   s.state = SlotState::kClean;
@@ -123,16 +126,30 @@ Status NativeCacheManager::AllocateWay(uint32_t set, uint16_t* way) {
     }
   }
   // Evict the set's LRU entry.
-  const uint16_t victim = set_tail_[set];
+  uint16_t victim = set_tail_[set];
   if (victim == kNilWay) {
     return Status::kNoSpace;
   }
-  Slot& s = SlotAt(set, victim);
-  if (s.state == SlotState::kDirty) {
-    if (Status st = WriteBackSlot(set, victim); !IsOk(st)) {
+  if (SlotAt(set, victim).state == SlotState::kDirty) {
+    const Status st = WriteBackSlot(set, victim);
+    if (st == Status::kIoError || st == Status::kTimeout) {
+      // The disk refused the victim's writeback, so the dirty block must stay
+      // cached. Fall back to the least-recently-used *clean* slot (walking
+      // from the LRU tail toward the MRU head) so the allocation can still
+      // proceed without dropping dirty data.
+      uint16_t w = victim;
+      while (w != kNilWay && SlotAt(set, w).state == SlotState::kDirty) {
+        w = SlotAt(set, w).lru_prev;
+      }
+      if (w == kNilWay) {
+        return st;  // every slot is dirty and the disk is down: refuse honestly
+      }
+      victim = w;
+    } else if (!IsOk(st)) {
       return st;
     }
   }
+  Slot& s = SlotAt(set, victim);
   const Lbn victim_lbn = s.lbn;
   AssertOk(ssd_->Trim(SsdPageOf(set, victim)));
   LruUnlink(set, victim);
@@ -155,8 +172,18 @@ Status NativeCacheManager::InsertBlock(Lbn lbn, uint64_t token, bool dirty, Admi
       !policy_->ShouldAdmit(lbn, op, AdmissionContext{})) {
     // Rejected new insertion: nothing is cached (the table lookup missed),
     // so the block simply stays uncached; dirty data goes straight to disk.
-    policy_->OnReject(lbn);
-    return dirty ? disk_->Write(lbn, token) : Status::kOk;
+    if (!dirty) {
+      policy_->OnReject(lbn);
+      return Status::kOk;
+    }
+    if (Status ds = disk_->GuardedWrite(lbn, token); IsOk(ds)) {
+      policy_->OnReject(lbn);
+      return Status::kOk;
+    }
+    // The write-around disk write failed past the retry bound. Durability
+    // outranks admission policy: fall through and cache the block dirty
+    // anyway (OnAdmit fires below if the insertion succeeds).
+    ++stats_.disk_io_errors;
   }
   if (way == kNilWay) {
     if (Status s = AllocateWay(set, &way); !IsOk(s)) {
@@ -189,7 +216,16 @@ Status NativeCacheManager::InsertBlock(Lbn lbn, uint64_t token, bool dirty, Admi
       s = Slot{};
       --occupied_;
       ++stats_.pass_through_writes;
-      return dirty ? disk_->Write(lbn, token) : Status::kOk;
+      if (!dirty) {
+        return Status::kOk;
+      }
+      if (Status ds = disk_->GuardedWrite(lbn, token); !IsOk(ds)) {
+        // Neither tier can hold the data: refuse honestly. The host was
+        // never acked, so nothing durable is lost silently.
+        ++stats_.disk_io_errors;
+        return ds;
+      }
+      return Status::kOk;
     }
     return ws;
   }
@@ -263,8 +299,13 @@ Status NativeCacheManager::CleanSet(uint32_t set) {
     }
     const size_t run_end = std::min(lost, j);
     if (!tokens.empty()) {
-      if (Status s = disk_->WriteRun(dirty[i].first, tokens); !IsOk(s)) {
-        return s;
+      if (Status s = disk_->GuardedWriteRun(dirty[i].first, tokens); !IsOk(s)) {
+        // The disk refused the run even after retries. FlashCache-style
+        // deferral: the blocks simply stay dirty and the next threshold
+        // crossing retries them. Not an error for the triggering host write.
+        ++stats_.disk_io_errors;
+        stats_.parked_writebacks += tokens.size();
+        return Status::kOk;
       }
     }
     for (size_t k = i; k < run_end; ++k) {
@@ -291,6 +332,11 @@ Status NativeCacheManager::Read(Lbn lbn, uint64_t* token) {
     const Status rs = ssd_->Read(SsdPageOf(set, way), token);
     if (rs != Status::kCorrupt) {
       ++stats_.read_hits;
+      if (IsOk(rs) && disk_->latent_count() != 0 && disk_->IsLatent(lbn)) {
+        // The disk sector under this block is latently unreadable: the
+        // cached copy is the only serviceable one.
+        ++stats_.rescued_reads;
+      }
       LruUnlink(set, way);
       LruPushFront(set, way);
       return rs;
@@ -319,7 +365,8 @@ Status NativeCacheManager::Read(Lbn lbn, uint64_t* token) {
   }
   ++stats_.read_misses;
   uint64_t fetched = 0;
-  if (Status s = disk_->Read(lbn, &fetched); !IsOk(s)) {
+  if (Status s = disk_->GuardedRead(lbn, &fetched); !IsOk(s)) {
+    ++stats_.disk_io_errors;
     return s;
   }
   if (Status s = InsertBlock(lbn, fetched, /*dirty=*/false, AdmissionOp::kReadFill);
@@ -338,7 +385,8 @@ Status NativeCacheManager::Write(Lbn lbn, uint64_t token) {
     policy_->OnAccess(lbn, /*is_write=*/true);
   }
   if (options_.mode == Mode::kWriteThrough) {
-    if (Status s = disk_->Write(lbn, token); !IsOk(s)) {
+    if (Status s = disk_->GuardedWrite(lbn, token); !IsOk(s)) {
+      ++stats_.disk_io_errors;
       return s;
     }
     return InsertBlock(lbn, token, /*dirty=*/false, AdmissionOp::kWriteClean);
@@ -358,6 +406,31 @@ Status NativeCacheManager::FlushAll() {
     }
   }
   return Status::kOk;
+}
+
+uint64_t NativeCacheManager::ScrubDisk(uint32_t max_sectors) {
+  uint64_t repaired = 0;
+  for (Lbn lbn : disk_->LatentSectors()) {
+    if (repaired >= max_sectors) {
+      break;
+    }
+    const uint32_t set = SetOf(lbn);
+    const uint16_t way = FindWay(set, lbn);
+    if (way == kNilWay) {
+      continue;  // not cached: nothing to repair from
+    }
+    uint64_t token = 0;
+    if (!IsOk(ssd_->Read(SsdPageOf(set, way), &token))) {
+      continue;  // unreadable slot: Read()'s own loss handling will find it
+    }
+    if (IsOk(disk_->GuardedWrite(lbn, token))) {
+      ++repaired;
+      ++stats_.scrub_repairs;
+    } else {
+      break;  // the disk is refusing writes; end the pass
+    }
+  }
+  return repaired;
 }
 
 size_t NativeCacheManager::HostMemoryUsage() const {

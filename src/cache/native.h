@@ -71,6 +71,12 @@ class NativeCacheManager final : public CacheManager {
   uint64_t cached_blocks() const { return occupied_; }
   uint64_t dirty_blocks() const { return dirty_total_; }
 
+  // Repairs up to `max_sectors` latent disk sectors from cached copies (any
+  // readable slot works: clean slots match the disk's acknowledged content,
+  // dirty slots are newer than it). Dirty slots stay dirty — the repair write
+  // is not a writeback, just a sector heal.
+  uint64_t ScrubDisk(uint32_t max_sectors) override;
+
   // Writes all dirty blocks to disk (orderly shutdown).
   Status FlushAll();
 

@@ -11,12 +11,25 @@
 // After a crash the manager may serve requests immediately; it repopulates
 // the dirty table with an exists scan of the disk address space, which can
 // overlap normal activity (Section 4.4).
+//
+// DiskGuard (DESIGN.md §5i) makes the manager survive a failing disk tier:
+// every disk request goes through the disk's bounded retry/backoff policy; a
+// writeback that still fails leaves its blocks dirty and parks the run on a
+// virtual-time backoff queue (redriven opportunistically, so no dirty data
+// is ever dropped); repeated writeback failures trip a *disk-degraded* mode
+// in which the cache absorbs writes instead of cleaning, up to the SSC's
+// space/backpressure bound — past it, writes are refused honestly with the
+// disk's error. Reads whose disk sector has gone latent-bad are served from
+// the cache (rescued_reads), and ScrubDisk repairs latent sectors from
+// cached copies in the background.
 
 #ifndef FLASHTIER_CACHE_WRITE_BACK_H_
 #define FLASHTIER_CACHE_WRITE_BACK_H_
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/cache/cache_manager.h"
 #include "src/cache/dirty_table.h"
@@ -74,7 +87,21 @@ class WriteBackManager final : public CacheManager {
   // and re-engaging when a probe succeeds.
   bool degraded() const { return degraded_; }
 
+  // True while the manager is in disk-degraded mode: after
+  // kDiskDegradedTripLimit consecutive failed writebacks it stops cleaning
+  // and lets the cache absorb dirty data; a successful redrive of the parked
+  // queue re-engages cleaning.
+  bool disk_degraded() const { return disk_degraded_; }
+  // Dirty blocks currently parked on the writeback retry queue.
+  size_t parked_blocks() const { return parked_lbns_.size(); }
+
+  // Repairs up to `max_sectors` latent disk sectors from cached copies.
+  uint64_t ScrubDisk(uint32_t max_sectors) override;
+
   // Writes every dirty block back to disk and cleans it (orderly shutdown).
+  // Force-redrives the parked queue (a shutdown does not wait out backoff);
+  // if the disk still refuses, returns its error with the refused blocks
+  // intact — dirty in the SSC and on the queue, never dropped.
   Status FlushAll();
 
   // Rebuilds the dirty table from the SSC after a crash (the exists scan).
@@ -90,13 +117,41 @@ class WriteBackManager final : public CacheManager {
   // Bounded backpressure stall: how many drain-and-retry rounds a write
   // spends before going around the cache.
   static constexpr uint32_t kBackpressureRetryLimit = 4;
+  // Consecutive failed writebacks before entering disk-degraded mode. Lower
+  // than the flash trip limit: each writeback already survived the disk's
+  // own retry loop, so two in a row mean the tier is down, not glitching.
+  static constexpr uint32_t kDiskDegradedTripLimit = 2;
+  // Parked-run redrive backoff: base doubles per park attempt up to the cap
+  // (virtual time). Much coarser than the per-request retry backoff — the
+  // request-level retries already failed when a run is parked.
+  static constexpr uint64_t kParkBaseBackoffUs = 10'000;
+  static constexpr uint64_t kParkMaxBackoffUs = 1'000'000;
+
+  // A writeback run whose disk write failed after retries: its blocks stay
+  // dirty (and in parked_lbns_) until a redrive succeeds or the blocks are
+  // cleaned by another run.
+  struct ParkedRun {
+    Lbn start;
+    Lbn end;  // inclusive
+    uint64_t not_before_us;
+    uint32_t attempt;  // parks so far for this run
+  };
 
   // Cleans LRU dirty blocks until the table is below the threshold.
   Status CleanToThreshold();
-  // Cleans the contiguous dirty run containing `seed` (one disk write).
-  Status CleanRun(Lbn seed);
+  // Cleans the contiguous dirty run containing `seed` (one disk write). A
+  // disk failure parks the run (attempt `park_attempt`+1) instead of failing.
+  Status CleanRun(Lbn seed, uint32_t park_attempt = 0);
   // Lands `token` on disk and scrubs every cached trace of `lbn`.
   Status PassThroughWrite(Lbn lbn, uint64_t token);
+  // Pops and re-cleans the front parked run if its backoff expired (or
+  // unconditionally with `force`). At most one run per call.
+  Status RedriveParked(bool force);
+  void ParkRun(Lbn start, Lbn end, uint32_t attempt, Status error);
+  void NoteDiskWriteFailure();
+  void NoteDiskWriteSuccess();
+  // Forgets a block the SSC reported lost (shared loss bookkeeping).
+  void DropLostDirty(Lbn lbn);
 
   SscDevice* ssc_;
   DiskModel* disk_;
@@ -109,6 +164,11 @@ class WriteBackManager final : public CacheManager {
   bool degraded_ = false;
   uint32_t consecutive_write_failures_ = 0;
   uint64_t degraded_write_count_ = 0;
+  bool disk_degraded_ = false;
+  uint32_t consecutive_disk_failures_ = 0;
+  Status last_disk_error_ = Status::kIoError;
+  std::deque<ParkedRun> parked_;
+  std::unordered_set<Lbn> parked_lbns_;  // membership only, never iterated
   ManagerStats stats_;
 };
 

@@ -10,6 +10,11 @@ Status WriteThroughManager::Read(Lbn lbn, uint64_t* token) {
   Status s = ssc_->Read(lbn, token);
   if (IsOk(s)) {
     ++stats_.read_hits;
+    if (disk_->latent_count() != 0 && disk_->IsLatent(lbn)) {
+      // The disk sector under this block is latently unreadable: the cached
+      // copy is the only serviceable one. The hit just rescued the read.
+      ++stats_.rescued_reads;
+    }
     return s;
   }
   if (s == Status::kIoError) {
@@ -22,7 +27,10 @@ Status WriteThroughManager::Read(Lbn lbn, uint64_t* token) {
   }
   ++stats_.read_misses;
   uint64_t fetched = 0;
-  if (Status ds = disk_->Read(lbn, &fetched); !IsOk(ds)) {
+  if (Status ds = disk_->GuardedRead(lbn, &fetched); !IsOk(ds)) {
+    // Not cached and the disk could not produce it within the retry bound:
+    // an honest miss failure, never stale data.
+    ++stats_.disk_io_errors;
     return ds;
   }
   // Populate the cache with the miss; if the SSC is out of space (or the
@@ -54,7 +62,12 @@ Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
   if (policy_ != nullptr) {
     policy_->OnAccess(lbn, /*is_write=*/true);
   }
-  if (Status ds = disk_->Write(lbn, token); !IsOk(ds)) {
+  if (Status ds = disk_->GuardedWrite(lbn, token); !IsOk(ds)) {
+    // Write-through's contract is "the disk has the data before the host is
+    // acked"; with the disk refusing past the retry bound there is nothing
+    // to absorb into — refuse honestly. The cached copy (if any) still
+    // matches the disk's unchanged content, so it stays valid.
+    ++stats_.disk_io_errors;
     return ds;
   }
   if (degraded_ && (++degraded_write_count_ % kDegradedProbeInterval) != 0) {
@@ -122,6 +135,26 @@ Status WriteThroughManager::Write(Lbn lbn, uint64_t token) {
     }
   }
   return cs;
+}
+
+uint64_t WriteThroughManager::ScrubDisk(uint32_t max_sectors) {
+  uint64_t repaired = 0;
+  for (Lbn lbn : disk_->LatentSectors()) {
+    if (repaired >= max_sectors) {
+      break;
+    }
+    uint64_t token = 0;
+    if (!IsOk(ssc_->Read(lbn, &token))) {
+      continue;  // not cached (or unreadable): nothing to repair from
+    }
+    if (IsOk(disk_->GuardedWrite(lbn, token))) {
+      ++repaired;
+      ++stats_.scrub_repairs;
+    } else {
+      break;  // the disk is refusing writes; end the pass
+    }
+  }
+  return repaired;
 }
 
 }  // namespace flashtier

@@ -35,6 +35,11 @@ class WriteThroughManager final : public CacheManager {
   // periodic probe re-engages the cache when it recovers).
   bool degraded() const { return degraded_; }
 
+  // Repairs up to `max_sectors` latent disk sectors from cached copies.
+  // Everything a write-through cache holds is clean (identical to what the
+  // disk acknowledged), so any hit is a valid repair source.
+  uint64_t ScrubDisk(uint32_t max_sectors) override;
+
  private:
   static constexpr uint32_t kDegradedTripLimit = 4;
   static constexpr uint32_t kDegradedProbeInterval = 64;

@@ -1,0 +1,121 @@
+// FlashCheck DiskGuard harness: end-to-end verification of the cache tier
+// under a failing *disk* (DESIGN.md §5i).
+//
+// The crash explorer and soak harness drive the SSC directly; DiskGuard
+// drives a full host stack — cache managers over sharded SSCs over a shared
+// DiskModel — with a deterministic disk fault plan armed (latent sector
+// errors, transient failures, slow-IO spikes), optionally composed with
+// flash fault injection, crash-storm cycles, sharding, admission control and
+// a background scrubber.
+//
+// A host-level shadow records every *acknowledged* operation. The core
+// property checked after every op and in a full post-recovery sweep each
+// cycle: no disk fault schedule may lose acknowledged data silently. A read
+// must return the last acknowledged token, unless (a) a crash or failed
+// write left the block torn — either version is then accepted, and stays
+// accepted until the next acknowledged write collapses the ambiguity (the
+// two tiers may hold different versions of an unacknowledged write), or
+// (b) the stack notified data loss for that block via the SSC's data-loss
+// hook — after which any *previously* acknowledged token (or the block's
+// original disk content) is accepted, but never fabricated data. Honest
+// refusals (kIoError / kTimeout / kNoSpace / kBackpressure) are counted,
+// not condemned. Every recovered cycle also runs the structural
+// InvariantChecker (including the parked-writeback-queue audits) and the
+// admission-policy audit.
+
+#ifndef FLASHTIER_CHECK_DISK_GUARD_H_
+#define FLASHTIER_CHECK_DISK_GUARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_manager.h"
+#include "src/disk/disk_fault_plan.h"
+#include "src/disk/disk_model.h"
+#include "src/disk/retry_policy.h"
+#include "src/flash/fault_plan.h"
+#include "src/policy/policy_factory.h"
+#include "src/ssc/ssc_device.h"
+
+namespace flashtier {
+
+struct DiskGuardOptions {
+  uint32_t cycles = 8;
+  uint64_t seed = 42;
+
+  // Device shape (mirrors the soak harness's stress configuration).
+  uint64_t capacity_pages = 512;
+  uint32_t shards = 1;
+  EvictionPolicy policy = EvictionPolicy::kSeUtil;
+  ConsistencyMode mode = ConsistencyMode::kFull;
+  uint32_t group_commit_ops = 16;
+  uint64_t checkpoint_interval_writes = 250;
+  uint64_t log_region_pages = 4;
+  uint64_t checkpoint_segment_entries = 16;
+
+  // Manager under test: write-back (default) exercises the full park/
+  // redrive/disk-degraded machinery; write-through exercises the honest-
+  // refusal and rescue paths.
+  bool write_through = false;
+
+  // Workload per cycle.
+  uint32_t ops_per_cycle = 400;
+  uint64_t address_blocks = 1536;
+
+  // Crash composition: every cycle ends in a crash at a seeded commit-point
+  // countdown (or at quiescence), followed by recovery — with recovery
+  // crashes on the soak harness's period — and a manager rebuild. false
+  // runs the cycles crash-free (pure disk-fault storm).
+  bool crashes = true;
+  uint32_t recovery_crash_period = 3;
+
+  // Background scrubber: every `scrub_period` ops each shard's manager
+  // repairs up to `scrub_budget` latent sectors from cached copies.
+  // 0 disables.
+  uint32_t scrub_period = 64;
+  uint32_t scrub_budget = 8;
+
+  DiskParams disk;
+  DiskFaultPlan disk_faults;  // the point of the harness
+  RetryPolicy disk_retry;
+  FaultPlan flash_faults;     // --faults composition
+  PolicyConfig admission;     // --admission composition
+
+  bool verbose = false;
+};
+
+struct DiskGuardReport {
+  uint32_t cycles_run = 0;
+  uint64_t ops_executed = 0;
+  uint64_t write_errors = 0;  // honest write refusals surfaced to the host
+  uint64_t read_errors = 0;   // honest read refusals surfaced to the host
+  uint64_t loss_notifications = 0;  // distinct blocks the stack reported lost
+  uint64_t crashes = 0;
+  uint64_t recovery_crashes = 0;
+  uint64_t scrub_passes = 0;
+  uint64_t violation_count = 0;
+  DiskStats disk;         // final disk counters (shared across shards)
+  ManagerStats manager;   // merged across the final per-shard managers
+  std::vector<std::string> samples;
+
+  static constexpr size_t kMaxSamples = 32;
+
+  bool ok() const { return violation_count == 0; }
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+class DiskGuardHarness {
+ public:
+  explicit DiskGuardHarness(const DiskGuardOptions& options);
+
+  DiskGuardReport Run();
+
+ private:
+  DiskGuardOptions options_;
+};
+
+}  // namespace flashtier
+
+#endif  // FLASHTIER_CHECK_DISK_GUARD_H_

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdarg>
 #include <cstdio>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -434,6 +435,45 @@ CheckReport InvariantChecker::Check(const WriteBackManager& manager) {
                      (unsigned long long)lbn));
     }
   });
+
+  // DiskGuard parked-queue audits (DESIGN.md §5i). A parked block is dirty
+  // data the disk refused: it must stay in the dirty table (or it could
+  // never be redriven), and every parked membership entry must be covered by
+  // at least one queued run — an orphan would wait forever, and FlushAll
+  // could never drain the queue. Collected through the queue's ranges so the
+  // membership set itself is never iterated.
+  std::set<Lbn> covered;
+  for (const auto& run : manager.parked_) {
+    for (Lbn lbn = run.start; lbn <= run.end; ++lbn) {
+      if (manager.parked_lbns_.count(lbn) != 0) {
+        covered.insert(lbn);
+      }
+    }
+  }
+  for (Lbn lbn : covered) {
+    ++report.checks_run;
+    if (!manager.dirty_table_.Contains(lbn)) {
+      report.Add("parked-queue.not-dirty",
+                 Fmt("lbn %llu is parked for writeback retry but no longer dirty",
+                     (unsigned long long)lbn));
+    }
+  }
+  ++report.checks_run;
+  if (covered.size() != manager.parked_lbns_.size()) {
+    report.Add("parked-queue.orphaned",
+               Fmt("%llu parked blocks but only %llu covered by queued runs",
+                   (unsigned long long)manager.parked_lbns_.size(),
+                   (unsigned long long)covered.size()));
+  }
+  // Retry queues drain or escalate: repeated consecutive failures must have
+  // tripped disk-degraded mode, never sat uncounted.
+  ++report.checks_run;
+  if (manager.consecutive_disk_failures_ >= WriteBackManager::kDiskDegradedTripLimit &&
+      !manager.disk_degraded_) {
+    report.Add("disk-degraded.untripped",
+               Fmt("%u consecutive disk failures without entering disk-degraded mode",
+                   manager.consecutive_disk_failures_));
+  }
 
   report.Merge(Check(ssc));
   return report;

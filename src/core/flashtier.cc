@@ -46,6 +46,12 @@ FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
     auto shard = std::make_unique<Shard>();
     const uint64_t pages = base_pages + (i < extra ? 1 : 0);
     shard->disk = std::make_unique<DiskModel>(config.disk, &shard->clock);
+    if (config.disk_faults.enabled) {
+      DiskFaultPlan plan = config.disk_faults;
+      plan.seed = config.disk_faults.seed + 0x9e3779b97f4a7c15ull * i;
+      shard->disk->set_fault_plan(plan);
+    }
+    shard->disk->set_retry_policy(config.disk_retry);
     // Each shard owns an independent policy instance driven only from its
     // own sequential operation stream (and its own virtual clock), so
     // admission decisions stay bit-identical across replay thread counts.
@@ -108,6 +114,14 @@ ManagerStats FlashTierSystem::AggregateManagerStats() const {
   ManagerStats out;
   for (const auto& shard : shards_) {
     out.Merge(shard->manager->stats());
+  }
+  return out;
+}
+
+DiskStats FlashTierSystem::AggregateDiskStats() const {
+  DiskStats out;
+  for (const auto& shard : shards_) {
+    out.Merge(shard->disk->stats());
   }
   return out;
 }

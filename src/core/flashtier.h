@@ -68,6 +68,13 @@ struct SystemConfig {
   // 0 keeps the SscConfig default.
   uint64_t log_region_pages = 0;
   uint64_t checkpoint_segment_entries = 0;
+  // Disk-tier fault injection and retry discipline (DESIGN.md §5i). Each
+  // shard's disk gets an independent fault stream derived from
+  // disk_faults.seed by a golden-ratio stride (like the per-shard policy
+  // seeds), so fault draws depend only on a shard's own operation order and
+  // every counter stays bit-identical across replay thread counts.
+  DiskFaultPlan disk_faults;
+  RetryPolicy disk_retry;
 };
 
 // Owns every component of one simulated storage system.
@@ -123,6 +130,7 @@ class FlashTierSystem {
   // ---- Cross-shard aggregates ----
 
   ManagerStats AggregateManagerStats() const;
+  DiskStats AggregateDiskStats() const;
   FtlStats AggregateFtlStats() const;
   FlashStats AggregateFlashStats() const;
   FaultStats AggregateFaultStats() const;

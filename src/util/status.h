@@ -43,6 +43,11 @@ enum class [[nodiscard]] Status : uint8_t {
   // state change; the caller may drain the log and retry, or bypass the
   // cache. Transient by construction — a checkpoint reclaims the region.
   kBackpressure,
+  // The operation (including its bounded retries) exhausted its virtual-time
+  // deadline — the device kept failing rather than answering. Distinguished
+  // from kIoError so callers can tell "the disk said no" from "the disk
+  // stopped answering in time"; both are honest refusals, never silent loss.
+  kTimeout,
 };
 
 constexpr bool IsOk(Status s) { return s == Status::kOk; }
@@ -75,6 +80,8 @@ constexpr std::string_view StatusName(Status s) {
       return "DEGRADED";
     case Status::kBackpressure:
       return "BACKPRESSURE";
+    case Status::kTimeout:
+      return "TIMEOUT";
   }
   return "UNKNOWN";
 }

@@ -1,0 +1,29 @@
+// Fixture: a retry/backoff loop paced by host time. Backoff delays in the
+// simulator must be charged to the virtual clock; every host-time read and
+// real sleep below must be flagged as wall-clock violations — a retry loop
+// like this would make timeouts depend on machine speed, not simulated time.
+#include <chrono>
+#include <thread>
+
+namespace flashtier {
+
+enum class Status : unsigned char { kOk, kIoError, kTimeout };
+
+Status AttemptOnce();
+
+Status RetryWithHostClock(unsigned max_attempts) {
+  const auto start = std::chrono::steady_clock::now();
+  Status s = AttemptOnce();
+  unsigned attempts = 1;
+  while (s != Status::kOk && attempts < max_attempts) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500 << attempts));
+    if (std::chrono::steady_clock::now() - start > std::chrono::milliseconds(250)) {
+      return Status::kTimeout;
+    }
+    s = AttemptOnce();
+    ++attempts;
+  }
+  return s;
+}
+
+}  // namespace flashtier

@@ -1,0 +1,36 @@
+// Fixture: the sanctioned retry/backoff shape (the RetrySession idiom).
+// Backoff is charged to the simulation clock and the deadline is a virtual-
+// time comparison, so the loop is deterministic and replayable. Nothing here
+// may be flagged.
+#include <cstdint>
+
+namespace flashtier {
+
+enum class Status : uint8_t { kOk, kIoError, kTimeout };
+
+inline bool IsOk(Status s) { return s == Status::kOk; }
+
+struct SimClock {
+  uint64_t now = 0;
+  uint64_t now_us() const { return now; }
+  void Advance(uint64_t us) { now += us; }
+};
+
+Status AttemptOnce();
+
+Status RetryOnVirtualTime(SimClock* clock, uint32_t max_attempts, uint64_t deadline_us) {
+  const uint64_t start_us = clock->now_us();
+  Status s = AttemptOnce();
+  uint64_t backoff_us = 500;
+  for (uint32_t attempt = 1; !IsOk(s) && attempt < max_attempts; ++attempt) {
+    if (clock->now_us() - start_us + backoff_us >= deadline_us) {
+      return Status::kTimeout;
+    }
+    clock->Advance(backoff_us);
+    backoff_us *= 2;
+    s = AttemptOnce();
+  }
+  return s;
+}
+
+}  // namespace flashtier

@@ -1,0 +1,25 @@
+// Fixture: retry plumbing that drops the disk's verdict on the floor. Every
+// bare-statement call below discards a Status the caller needed — a redrive
+// that ignores its outcome can neither re-park the run nor count the repair,
+// which is exactly how dirty data gets lost silently. All three must be
+// flagged.
+#include <cstdint>
+
+namespace flashtier {
+
+enum class Status : uint8_t { kOk, kIoError };
+
+class GuardedDisk {
+ public:
+  Status GuardedWrite(uint64_t lbn, uint64_t token);
+  Status RedriveParked(bool force);
+  Status FlushAll();
+};
+
+void ShutdownWithoutLooking(GuardedDisk* disk) {
+  disk->GuardedWrite(7, 700);
+  disk->RedriveParked(true);
+  disk->FlushAll();
+}
+
+}  // namespace flashtier

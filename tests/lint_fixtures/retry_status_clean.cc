@@ -1,0 +1,40 @@
+// Fixture: retry plumbing that consumes every verdict. Failed writes are
+// branched on (to park the run), the redrive outcome decides the degraded
+// flag, and the one deliberate discard is spelled out. Nothing here may be
+// flagged.
+#include <cstdint>
+
+namespace flashtier {
+
+enum class Status : uint8_t { kOk, kIoError };
+
+inline bool IsOk(Status s) { return s == Status::kOk; }
+
+class GuardedDisk {
+ public:
+  Status GuardedWrite(uint64_t lbn, uint64_t token);
+  Status RedriveParked(bool force);
+  Status FlushAll();
+};
+
+struct Manager {
+  GuardedDisk* disk;
+  bool disk_degraded = false;
+
+  Status Writeback(uint64_t lbn, uint64_t token) {
+    if (Status s = disk->GuardedWrite(lbn, token); !IsOk(s)) {
+      disk_degraded = true;  // park the run; the caller re-dirties the block
+      return s;
+    }
+    disk_degraded = false;
+    return Status::kOk;
+  }
+
+  Status Shutdown() {
+    // Opportunistic: a still-failing redrive is retried by FlushAll below.
+    (void)disk->RedriveParked(/*force=*/true);
+    return disk->FlushAll();
+  }
+};
+
+}  // namespace flashtier

@@ -7,6 +7,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/check/invariant_checker.h"
@@ -117,6 +118,66 @@ TEST(ParallelReplayTest, WriteThroughAlsoDeterministic) {
   const ShardedRun t4 = RunWith(4, 4, SystemType::kSscRWriteThrough);
   ASSERT_EQ(t1.metrics.stale_reads, 0u);
   ExpectVirtualTimeEqual(t1, t4);
+}
+
+// Disk-fault injection must honor the same determinism contract: each
+// shard's disk draws faults from its own seeded stream, keyed only by that
+// shard's operation order, so every fault/retry/timeout counter — and the
+// virtual time the retries burn — is bit-identical at any thread count.
+TEST(ParallelReplayTest, DiskFaultCountersIdenticalAcrossThreadCounts) {
+  auto run_with_faults = [](uint32_t threads) {
+    SystemConfig config;
+    config.type = SystemType::kSscWriteBack;
+    config.cache_pages = 8192;
+    config.shards = 8;
+    config.disk_faults.enabled = true;
+    config.disk_faults.read_fail_prob = 0.01;
+    config.disk_faults.write_fail_prob = 0.02;
+    config.disk_faults.latent_prob = 0.002;
+    config.disk_faults.slow_io_prob = 0.01;
+    FlashTierSystem system(config);
+    SyntheticWorkload workload(TestProfile());
+    ReplayEngine::Options opts;
+    opts.warmup_fraction = 0.15;
+    opts.verify = true;
+    opts.threads = threads;
+    ReplayEngine engine(&system, opts);
+    const ReplayMetrics metrics = engine.Run(workload);
+    return std::make_tuple(metrics.elapsed_us, metrics.stale_reads, metrics.failed_requests,
+                           system.AggregateDiskStats(), system.AggregateManagerStats());
+  };
+  const auto t1 = run_with_faults(1);
+  const auto t4 = run_with_faults(4);
+  const auto t8 = run_with_faults(8);
+  EXPECT_EQ(std::get<1>(t1), 0u);  // faults refuse honestly, never corrupt
+  const DiskStats& d1 = std::get<3>(t1);
+  EXPECT_GT(d1.read_faults + d1.write_faults + d1.latent_errors, 0u);
+  EXPECT_GT(d1.retries, 0u);
+  for (const auto* other : {&t4, &t8}) {
+    EXPECT_EQ(std::get<0>(t1), std::get<0>(*other));
+    EXPECT_EQ(std::get<1>(t1), std::get<1>(*other));
+    EXPECT_EQ(std::get<2>(t1), std::get<2>(*other));
+    const DiskStats& d = std::get<3>(*other);
+    EXPECT_EQ(d1.reads, d.reads);
+    EXPECT_EQ(d1.writes, d.writes);
+    EXPECT_EQ(d1.busy_us, d.busy_us);
+    EXPECT_EQ(d1.read_faults, d.read_faults);
+    EXPECT_EQ(d1.write_faults, d.write_faults);
+    EXPECT_EQ(d1.latent_errors, d.latent_errors);
+    EXPECT_EQ(d1.latent_sectors, d.latent_sectors);
+    EXPECT_EQ(d1.sector_repairs, d.sector_repairs);
+    EXPECT_EQ(d1.slow_ios, d.slow_ios);
+    EXPECT_EQ(d1.retries, d.retries);
+    EXPECT_EQ(d1.timeouts, d.timeouts);
+    const ManagerStats& m1 = std::get<4>(t1);
+    const ManagerStats& m = std::get<4>(*other);
+    EXPECT_EQ(m1.rescued_reads, m.rescued_reads);
+    EXPECT_EQ(m1.disk_io_errors, m.disk_io_errors);
+    EXPECT_EQ(m1.parked_writebacks, m.parked_writebacks);
+    EXPECT_EQ(m1.scrub_repairs, m.scrub_repairs);
+    EXPECT_EQ(m1.disk_degraded_entries, m.disk_degraded_entries);
+    EXPECT_EQ(m1.lost_dirty, m.lost_dirty);
+  }
 }
 
 // Every admission policy must honor the determinism contract: per-shard

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "src/check/crash_explorer.h"
+#include "src/check/disk_guard.h"
 #include "src/check/soak.h"
 #include "src/policy/policy_factory.h"
 #include "src/util/args.h"
@@ -40,6 +41,12 @@ constexpr const char* kUsage =
     "                         inside recovery (incl. double crashes)\n"
     "  --soak=N               crash-storm soak: N seeded crash->recover->\n"
     "                         verify->resume cycles on one long-lived device\n"
+    "  --disk-faults          DiskGuard: drive cache managers over a faulty\n"
+    "                         disk tier (latent sectors, transient failures,\n"
+    "                         slow IO) with retry/backoff, parked writebacks,\n"
+    "                         cache-assisted repair and a host-level shadow;\n"
+    "                         composes with crashes, --shards, --admission,\n"
+    "                         --faults and --soak=N (cycle count)\n"
     "  --break-recovery       self-test: recovery drops the log tail, the\n"
     "                         checker MUST report violations\n"
     "  --break-retry          self-test (requires --faults): bad-block\n"
@@ -63,7 +70,13 @@ constexpr const char* kUsage =
     "\n"
     "soak options:\n"
     "  --soak=N --soak-ops=400 --recovery-crash-period=3\n"
-    "  --recovery-budget-us=2400000 --stats-json=FILE\n";
+    "  --recovery-budget-us=2400000 --stats-json=FILE\n"
+    "\n"
+    "disk-fault options (--disk-faults mode):\n"
+    "  --disk-seed=1 --disk-read-fail=0.01 --disk-write-fail=0.02\n"
+    "  --disk-latent=0.002 --disk-slow=0.01\n"
+    "  --disk-retry-attempts=4 --disk-deadline-us=250000\n"
+    "  --scrub-period=64 --scrub-budget=8 --write-through --no-crashes\n";
 
 bool WriteStatsJson(const std::string& path, const std::string& json) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -103,7 +116,13 @@ int main(int argc, char** argv) {
       "read-corrupt",  "wear-limit",
       "soak",          "soak-ops",
       "recovery-crash-period", "recovery-budget-us",
-      "stats-json",
+      "stats-json",    "disk-faults",
+      "disk-seed",     "disk-read-fail",
+      "disk-write-fail", "disk-latent",
+      "disk-slow",     "disk-retry-attempts",
+      "disk-deadline-us", "scrub-period",
+      "scrub-budget",  "write-through",
+      "no-crashes",
   });
   if (!unknown.empty()) {
     for (const std::string& name : unknown) {
@@ -186,6 +205,56 @@ int main(int argc, char** argv) {
 
   const std::string stats_json = args.GetString("stats-json", "");
   const int64_t soak_cycles = args.GetInt("soak", 0);
+  if (args.GetBool("disk-faults", false)) {
+    flashtier::DiskGuardOptions dopts;
+    if (soak_cycles > 0) {
+      dopts.cycles = static_cast<uint32_t>(soak_cycles);
+    }
+    dopts.seed = options.seed;
+    dopts.capacity_pages = options.capacity_pages;
+    dopts.shards = options.shards;
+    dopts.policy = options.policy;
+    dopts.mode = options.mode;
+    dopts.group_commit_ops = options.group_commit_ops;
+    dopts.checkpoint_interval_writes = options.checkpoint_interval_writes;
+    dopts.log_region_pages = options.log_region_pages;
+    dopts.checkpoint_segment_entries = options.checkpoint_segment_entries;
+    dopts.ops_per_cycle = static_cast<uint32_t>(args.GetPositiveInt("soak-ops", 400));
+    dopts.address_blocks = options.address_blocks;
+    dopts.write_through = args.GetBool("write-through", false);
+    dopts.crashes = !args.GetBool("no-crashes", false);
+    dopts.recovery_crash_period =
+        static_cast<uint32_t>(args.GetInt("recovery-crash-period", 3));
+    dopts.scrub_period = static_cast<uint32_t>(args.GetInt("scrub-period", 64));
+    dopts.scrub_budget = static_cast<uint32_t>(args.GetInt("scrub-budget", 8));
+    dopts.disk_faults.enabled = true;
+    dopts.disk_faults.seed = static_cast<uint64_t>(args.GetInt("disk-seed", 1));
+    dopts.disk_faults.read_fail_prob = args.GetDouble("disk-read-fail", 0.01);
+    dopts.disk_faults.write_fail_prob = args.GetDouble("disk-write-fail", 0.02);
+    dopts.disk_faults.latent_prob = args.GetDouble("disk-latent", 0.002);
+    dopts.disk_faults.slow_io_prob = args.GetDouble("disk-slow", 0.01);
+    dopts.disk_retry.max_attempts =
+        static_cast<uint32_t>(args.GetPositiveInt("disk-retry-attempts", 4));
+    dopts.disk_retry.op_deadline_us =
+        static_cast<uint64_t>(args.GetInt("disk-deadline-us", 250'000));
+    dopts.flash_faults = options.faults;
+    dopts.admission = options.admission;
+    dopts.verbose = options.verbose;
+    if (!args.ok()) {
+      std::fprintf(stderr, "flashcheck: %s\n", args.error().c_str());
+      return 2;
+    }
+
+    flashtier::DiskGuardHarness harness(dopts);
+    const flashtier::DiskGuardReport report = harness.Run();
+    std::printf("flashcheck: %s\n", report.ToString().c_str());
+    if (!stats_json.empty() && !WriteStatsJson(stats_json, report.ToJson())) {
+      std::fprintf(stderr, "flashcheck: cannot write --stats-json file '%s'\n",
+                   stats_json.c_str());
+      return 2;
+    }
+    return report.ok() ? 0 : 1;
+  }
   if (soak_cycles > 0) {
     flashtier::SoakOptions sopts;
     sopts.cycles = static_cast<uint32_t>(soak_cycles);
@@ -224,7 +293,8 @@ int main(int argc, char** argv) {
     return report.ok() ? 0 : 1;
   }
   if (!stats_json.empty()) {
-    std::fprintf(stderr, "flashcheck: --stats-json is only produced by --soak runs\n");
+    std::fprintf(stderr,
+                 "flashcheck: --stats-json is only produced by --soak and --disk-faults runs\n");
     return 2;
   }
 
