@@ -74,7 +74,8 @@ int Main(int argc, char** argv) {
       config.admission.kind = kind;
       FlashTierSystem system(config);
       const RunResult r = ReplayWorkload(profile, config, &system, 0.15,
-                                         args.GetBool("verify", false), parallel.threads);
+                                         args.GetBool("verify", false), parallel.threads,
+                                         parallel.depth);
       AppendStatsJson(args.GetString("stats-json", ""), "ablation_admission", profile, config,
                       &system, r);
 

@@ -55,7 +55,8 @@ int Main(int argc, char** argv) {
       config.disk_faults.write_fail_prob = write_fail;
       FlashTierSystem system(config);
       const RunResult r = ReplayWorkload(profile, config, &system, 0.15,
-                                         args.GetBool("verify", false), parallel.threads);
+                                         args.GetBool("verify", false), parallel.threads,
+                                         parallel.depth);
       AppendStatsJson(args.GetString("stats-json", ""), "ablation_diskguard", profile, config,
                       &system, r);
 

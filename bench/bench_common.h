@@ -11,6 +11,8 @@
 //   --shards=<n>   independent channel shards; defaults to 8 when --threads
 //                  is given (so results are comparable across thread counts)
 //                  and 1 otherwise
+//   --depth=<n>    host queue depth per shard (1 = classic closed loop;
+//                  N > 1 replays open-loop on the plane/channel pipeline)
 
 #ifndef FLASHTIER_BENCH_BENCH_COMMON_H_
 #define FLASHTIER_BENCH_BENCH_COMMON_H_
@@ -113,6 +115,7 @@ inline void PrintHeader(const char* title) {
 struct ParallelFlags {
   uint32_t threads = 1;
   uint32_t shards = 1;
+  uint32_t depth = 1;
 };
 
 inline ParallelFlags GetParallelFlags(ArgParser& args) {
@@ -120,6 +123,7 @@ inline ParallelFlags GetParallelFlags(ArgParser& args) {
   const uint32_t default_shards = args.Has("threads") ? 8 : 1;
   flags.shards = static_cast<uint32_t>(args.GetPositiveInt("shards", default_shards));
   flags.threads = static_cast<uint32_t>(args.GetPositiveInt("threads", 1));
+  flags.depth = static_cast<uint32_t>(args.GetPositiveInt("depth", 1));
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     std::exit(2);
@@ -168,12 +172,14 @@ struct RunResult {
 // needs device statistics.
 inline RunResult ReplayWorkload(const WorkloadProfile& profile, const SystemConfig& config,
                                 FlashTierSystem* system, double warmup_fraction = 0.15,
-                                bool verify = false, uint32_t threads = 1) {
+                                bool verify = false, uint32_t threads = 1,
+                                uint32_t queue_depth = 1) {
   SyntheticWorkload workload(profile);
   ReplayEngine::Options opts;
   opts.warmup_fraction = warmup_fraction;
   opts.verify = verify;
   opts.threads = threads;
+  opts.queue_depth = queue_depth;
   ReplayEngine engine(system, opts);
   RunResult result;
   result.metrics = engine.Run(workload);
@@ -210,9 +216,10 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
                "{\"bench\":\"%s\",\"workload\":\"%s\",\"system\":\"%s\","
                "\"policy\":\"%s\","
                "\"iops\":%.1f,\"mean_response_us\":%.2f,"
+               "\"p50_us\":%.2f,\"p95_us\":%.2f,\"p99_us\":%.2f,\"p999_us\":%.2f,"
                "\"requests\":%llu,\"stale_reads\":%llu,\"failed_requests\":%llu,"
                "\"read_errors\":%llu,"
-               "\"threads\":%u,\"shards\":%u,\"wall_clock_us\":%llu,"
+               "\"threads\":%u,\"shards\":%u,\"depth\":%u,\"wall_clock_us\":%llu,"
                "\"replay_ops_per_sec\":%.1f,"
                "\"manager\":{\"read_hits\":%llu,\"read_misses\":%llu,\"writebacks\":%llu,"
                "\"evicts\":%llu,\"read_errors\":%llu,\"lost_dirty\":%llu,"
@@ -221,11 +228,15 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
                "\"scrub_repairs\":%llu,\"disk_degraded_entries\":%llu}",
                bench, profile.name.c_str(), SystemTypeName(config.type).c_str(),
                system->admission_name(), result.iops,
-               result.mean_response_us, (unsigned long long)result.metrics.requests,
+               result.mean_response_us, result.metrics.response_us.PercentileUs(50),
+               result.metrics.response_us.PercentileUs(95),
+               result.metrics.response_us.PercentileUs(99),
+               result.metrics.response_us.PercentileUs(99.9),
+               (unsigned long long)result.metrics.requests,
                (unsigned long long)result.metrics.stale_reads,
                (unsigned long long)result.metrics.failed_requests,
                (unsigned long long)result.metrics.read_errors,
-               result.metrics.threads, result.metrics.shards,
+               result.metrics.threads, result.metrics.shards, result.metrics.queue_depth,
                (unsigned long long)result.metrics.wall_clock_us,
                result.metrics.ReplayOpsPerSec(),
                (unsigned long long)m.read_hits, (unsigned long long)m.read_misses,

@@ -54,7 +54,8 @@ int Main(int argc, char** argv) {
       config.admission = admission;
       FlashTierSystem system(config);
       const RunResult r = ReplayWorkload(profile, config, &system, 0.15,
-                                         args.GetBool("verify", false), parallel.threads);
+                                         args.GetBool("verify", false), parallel.threads,
+                                         parallel.depth);
       AppendStatsJson(args.GetString("stats-json", ""), "fig3", profile, config, &system, r);
       if (type == SystemType::kNativeWriteBack) {
         native_iops = r.iops;

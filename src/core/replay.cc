@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/core/open_loop.h"
+
 namespace flashtier {
 
 namespace {
@@ -14,14 +16,28 @@ uint64_t LookupExpectedToken(const std::unordered_map<Lbn, uint64_t>& oracle, Lb
   return it != oracle.end() ? it->second : DiskModel::OriginalToken(lbn);
 }
 
+// Span bookkeeping for one open-loop run (queue depth > 1): the measured
+// phase lasts from its first request's submit to its last completion, since
+// overlapping per-request latencies must not be summed.
+struct OpenLoopSpan {
+  uint64_t first_submit = ~uint64_t{0};
+  uint64_t last_done = 0;
+  bool any_measured = false;
+
+  uint64_t ElapsedUs() const { return any_measured ? last_done - first_submit : 0; }
+};
+
 // Issues one trace record against one shard's manager and accounts it in
 // that shard's metrics/oracle. Shared by the streaming single-shard path and
-// the per-shard workers so both have identical semantics.
+// the per-shard workers so both have identical semantics. `loop`/`span` are
+// null at queue depth 1, which keeps the exact closed-loop accounting the
+// engine always had.
 void ProcessRecord(const TraceRecord& record, uint64_t seq, bool measured, bool verify,
-                   CacheManager& manager, const SimClock& clock, ReplayMetrics* metrics,
+                   CacheManager& manager, const SimClock& clock, OpenLoopQueue* loop,
+                   OpenLoopSpan* span, ReplayMetrics* metrics,
                    std::unordered_map<Lbn, uint64_t>* oracle,
                    std::unordered_set<Lbn>* lost_blocks) {
-  const uint64_t start_us = clock.now_us();
+  const uint64_t start_us = loop != nullptr ? loop->Begin() : clock.now_us();
   if (record.op == TraceOp::kWrite) {
     const uint64_t token = (record.lbn << 20) ^ seq;
     if (!IsOk(manager.Write(record.lbn, token))) {
@@ -54,7 +70,18 @@ void ProcessRecord(const TraceRecord& record, uint64_t seq, bool measured, bool 
       ++metrics->reads;
     }
   }
-  if (measured) {
+  if (loop != nullptr) {
+    const uint64_t latency_us = loop->End(start_us);
+    if (measured) {
+      ++metrics->requests;
+      metrics->response_us.Add(latency_us);
+      span->any_measured = true;
+      span->first_submit = std::min(span->first_submit, start_us);
+      span->last_done = std::max(span->last_done, start_us + latency_us);
+    } else {
+      ++metrics->warmup_requests;
+    }
+  } else if (measured) {
     ++metrics->requests;
     metrics->elapsed_us += clock.now_us() - start_us;
     metrics->response_us.Add(clock.now_us() - start_us);
@@ -82,22 +109,38 @@ uint64_t ReplayEngine::ExpectedToken(Lbn lbn) const {
 void ReplayEngine::RunSingle(TraceSource& source) {
   const uint64_t total = TotalRequests(options_, source);
   const uint64_t warmup = WarmupBoundary(options_, total);
+  const bool open_loop = options_.queue_depth > 1;
+  OpenLoopQueue loop(&system_->clock(), options_.queue_depth);
+  OpenLoopSpan span;
   uint64_t seq = 0;
   TraceRecord record;
   while (seq < total && source.Next(&record)) {
     ProcessRecord(record, seq, /*measured=*/seq >= warmup, options_.verify,
-                  system_->manager(), system_->clock(), &metrics_, &oracle_, &lost_blocks_);
+                  system_->manager(), system_->clock(), open_loop ? &loop : nullptr,
+                  open_loop ? &span : nullptr, &metrics_, &oracle_, &lost_blocks_);
     ++seq;
+  }
+  if (open_loop) {
+    loop.Drain();
+    metrics_.elapsed_us = span.ElapsedUs();
   }
 }
 
 void ReplayEngine::ReplayShard(FlashTierSystem::Shard& shard,
                                const std::vector<ShardRequest>& queue, uint64_t warmup,
                                ShardRun* run) const {
+  const bool open_loop = options_.queue_depth > 1;
+  OpenLoopQueue loop(&shard.clock, options_.queue_depth);
+  OpenLoopSpan span;
   for (const ShardRequest& req : queue) {
     ProcessRecord(req.record, req.seq, /*measured=*/req.seq >= warmup, options_.verify,
-                  *shard.manager, shard.clock, &run->metrics, &run->oracle,
+                  *shard.manager, shard.clock, open_loop ? &loop : nullptr,
+                  open_loop ? &span : nullptr, &run->metrics, &run->oracle,
                   &run->lost_blocks);
+  }
+  if (open_loop) {
+    loop.Drain();
+    run->metrics.elapsed_us = span.ElapsedUs();
   }
 }
 
@@ -202,6 +245,7 @@ ReplayMetrics ReplayEngine::Run(TraceSource& source) {
   metrics_.threads = std::min<uint32_t>(std::max<uint32_t>(1, options_.threads),
                                         system_->shard_count());
   metrics_.shards = system_->shard_count();
+  metrics_.queue_depth = std::max<uint32_t>(1, options_.queue_depth);
   source.Rewind();
   return metrics_;
 }

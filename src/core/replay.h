@@ -1,9 +1,17 @@
 // Trace replay engine and end-to-end metrics.
 //
-// Replay is closed-loop over virtual time: each request is issued when the
-// previous one completes, and its response time is the virtual time the
-// system components charged while serving it. IOPS = requests / elapsed
-// virtual seconds, the paper's performance metric (Figures 3, 4, 6).
+// At queue depth 1 replay is closed-loop over virtual time: each request is
+// issued when the previous one completes, and its response time is the
+// virtual time the system components charged while serving it. IOPS =
+// requests / elapsed virtual seconds, the paper's performance metric
+// (Figures 3, 4, 6).
+//
+// At queue depth N > 1 (Options::queue_depth) replay is open-loop: up to N
+// host requests are in flight per shard, each new request submitting the
+// moment a queue slot frees (see src/core/open_loop.h). Submit-to-complete
+// latency feeds the response histogram — so p95/p99/p999 include queueing
+// delay — and the measured phase's elapsed time is the span from the first
+// measured submit to the last measured completion.
 //
 // On a sharded system the engine routes each request to its LBN's shard and
 // replays the per-shard subsequences on worker threads (Options::threads).
@@ -60,6 +68,7 @@ struct ReplayMetrics {
   uint64_t wall_clock_us = 0;
   uint32_t threads = 1;
   uint32_t shards = 1;
+  uint32_t queue_depth = 1;  // host requests in flight per shard
 
   double Iops() const {
     return elapsed_us == 0 ? 0.0
@@ -84,6 +93,10 @@ class ReplayEngine {
     // Worker threads for sharded systems; clamped to the shard count. The
     // virtual-time metrics do not depend on this value.
     uint32_t threads = 1;
+    // Host requests in flight per shard. 1 = the classic closed loop,
+    // bit-identical to the engine before open-loop replay existed; N > 1
+    // overlaps requests on the device's plane/channel pipeline.
+    uint32_t queue_depth = 1;
   };
 
   ReplayEngine(FlashTierSystem* system, const Options& options)

@@ -12,6 +12,7 @@ FlashDevice::FlashDevice(const FlashGeometry& geometry, const FlashTimings& timi
     : geometry_(geometry),
       timings_(timings),
       clock_(clock),
+      pipeline_(geometry, timings, clock),
       store_data_(store_data),
       faults_(faults),
       fault_rng_(faults.seed),
@@ -24,6 +25,16 @@ bool FlashDevice::InjectFault(const std::vector<uint64_t>& script, uint64_t ordi
     return true;
   }
   return prob > 0.0 && fault_rng_.Chance(prob);
+}
+
+void FlashDevice::Charge(FlashPipeline::Op op, uint32_t plane) {
+  stats_.busy_us += pipeline_.NominalCostUs(op);
+  pipeline_.Execute(op, plane);
+}
+
+void FlashDevice::ChargeCopy(uint32_t src_plane, uint32_t dst_plane) {
+  stats_.busy_us += timings_.CopyCostUs();
+  pipeline_.ExecuteCopy(src_plane, dst_plane);
 }
 
 Status FlashDevice::ProgramPage(PhysBlock block, const OobRecord& oob, uint64_t token,
@@ -46,7 +57,7 @@ Status FlashDevice::ProgramPage(PhysBlock block, const OobRecord& oob, uint64_t 
       // only becomes usable again through a successful erase.
       b.program_failed = true;
       ++fault_stats_.program_failures;
-      Charge(timings_.WriteCostUs());
+      Charge(FlashPipeline::Op::kWrite, geometry_.PlaneOf(block));
       return Status::kIoError;
     }
   }
@@ -64,7 +75,7 @@ Status FlashDevice::ProgramPage(PhysBlock block, const OobRecord& oob, uint64_t 
     page.has_crc = true;
   }
   ++stats_.page_writes;
-  Charge(timings_.WriteCostUs());
+  Charge(FlashPipeline::Op::kWrite, geometry_.PlaneOf(block));
   if (ppn != nullptr) {
     *ppn = p;
   }
@@ -90,7 +101,7 @@ Status FlashDevice::ReadPage(Ppn ppn, uint64_t* token, OobRecord* oob_out, uint8
     if (page.corrupt) {
       ++fault_stats_.read_corruptions;
       ++stats_.page_reads;
-      Charge(timings_.ReadCostUs());
+      Charge(FlashPipeline::Op::kRead, geometry_.PlaneOf(geometry_.BlockOf(ppn)));
       return Status::kCorrupt;
     }
   }
@@ -109,7 +120,7 @@ Status FlashDevice::ReadPage(Ppn ppn, uint64_t* token, OobRecord* oob_out, uint8
     }
   }
   ++stats_.page_reads;
-  Charge(timings_.ReadCostUs());
+  Charge(FlashPipeline::Op::kRead, geometry_.PlaneOf(geometry_.BlockOf(ppn)));
   if (data != nullptr && page.has_crc &&
       Crc32c(data, geometry_.page_size) != page.crc) {
     ++fault_stats_.crc_mismatches;
@@ -127,7 +138,7 @@ Status FlashDevice::ReadOob(Ppn ppn, OobRecord* oob_out) {
     *oob_out = page.oob;
   }
   ++stats_.oob_reads;
-  Charge(timings_.OobReadCostUs());
+  Charge(FlashPipeline::Op::kOobRead, geometry_.PlaneOf(geometry_.BlockOf(ppn)));
   return page.state == PageState::kFree ? Status::kIoError : Status::kOk;
 }
 
@@ -187,7 +198,7 @@ Status FlashDevice::EraseBlock(PhysBlock block) {
       // whatever (possibly invalid) contents they had.
       b.bad = true;
       ++fault_stats_.erase_failures;
-      Charge(timings_.EraseCostUs());
+      Charge(FlashPipeline::Op::kErase, geometry_.PlaneOf(block));
       return Status::kIoError;
     }
   }
@@ -209,7 +220,7 @@ Status FlashDevice::EraseBlock(PhysBlock block) {
   b.program_failed = false;
   ++b.erase_count;
   ++stats_.erases;
-  Charge(timings_.EraseCostUs());
+  Charge(FlashPipeline::Op::kErase, geometry_.PlaneOf(block));
   return Status::kOk;
 }
 
@@ -239,7 +250,7 @@ Status FlashDevice::CopyPage(Ppn src, PhysBlock dst_block, Ppn* dst_ppn) {
     if (src_page.corrupt) {
       ++fault_stats_.read_corruptions;
       ++stats_.page_reads;
-      Charge(timings_.ReadCostUs());
+      Charge(FlashPipeline::Op::kRead, geometry_.PlaneOf(geometry_.BlockOf(src)));
       return Status::kCorrupt;
     }
     bool inject = false;
@@ -250,7 +261,7 @@ Status FlashDevice::CopyPage(Ppn src, PhysBlock dst_block, Ppn* dst_ppn) {
     if (db.bad || db.program_failed || inject) {
       db.program_failed = true;
       ++fault_stats_.program_failures;
-      Charge(timings_.CopyCostUs());
+      ChargeCopy(geometry_.PlaneOf(geometry_.BlockOf(src)), geometry_.PlaneOf(dst_block));
       return Status::kIoError;
     }
   }
@@ -275,7 +286,7 @@ Status FlashDevice::CopyPage(Ppn src, PhysBlock dst_block, Ppn* dst_ppn) {
     data_.erase(src);
   }
   ++stats_.gc_copies;
-  Charge(timings_.CopyCostUs());
+  ChargeCopy(geometry_.PlaneOf(geometry_.BlockOf(src)), geometry_.PlaneOf(dst_block));
   if (dst_ppn != nullptr) {
     *dst_ppn = dst;
   }

@@ -22,6 +22,7 @@
 
 #include "src/flash/fault_plan.h"
 #include "src/flash/geometry.h"
+#include "src/flash/pipeline.h"
 #include "src/flash/timing.h"
 #include "src/flash/types.h"
 #include "src/util/rng.h"
@@ -149,6 +150,12 @@ class FlashDevice {
   // the device so the act of checking cannot itself destroy state.
   void set_fault_injection_paused(bool paused) { fault_injection_paused_ = paused; }
 
+  // The device's virtual-time event engine. All device time — including the
+  // FTL's pure-controller replies and the persistence layer's log I/O — must
+  // be charged through it so phases on distinct planes overlap under
+  // open-loop replay (flashlint's clock-advance rule enforces this).
+  FlashPipeline* pipeline() { return &pipeline_; }
+
  private:
   struct Page {
     PageState state = PageState::kFree;
@@ -170,14 +177,15 @@ class FlashDevice {
   // ordinal: either a scripted trigger or a probability draw.
   bool InjectFault(const std::vector<uint64_t>& script, uint64_t ordinal, double prob);
 
-  void Charge(uint64_t us) {
-    stats_.busy_us += us;
-    clock_->Advance(us);
-  }
+  // Schedules `op`'s phases on the event engine and accounts the nominal
+  // service time as device busy time.
+  void Charge(FlashPipeline::Op op, uint32_t plane);
+  void ChargeCopy(uint32_t src_plane, uint32_t dst_plane);
 
   FlashGeometry geometry_;
   FlashTimings timings_;
   SimClock* clock_;  // not owned
+  FlashPipeline pipeline_;
   bool store_data_;
   FaultPlan faults_;
   bool fault_injection_paused_ = false;

@@ -21,6 +21,11 @@ struct FlashGeometry {
   uint32_t blocks_per_plane = 256;
   uint32_t pages_per_block = 64;
   uint32_t page_size = 4096;
+  // Independent command/bus channels; planes attach round-robin (plane %
+  // channels). Command dispatch and data transfer serialize per channel while
+  // media (array) time serializes per plane, so two planes on one channel
+  // overlap their array phases but not their transfers.
+  uint32_t channels = 5;
 
   constexpr uint32_t TotalBlocks() const { return planes * blocks_per_plane; }
   constexpr uint64_t TotalPages() const {
@@ -41,6 +46,9 @@ struct FlashGeometry {
     return static_cast<uint32_t>(ppn % pages_per_block);
   }
   constexpr uint32_t PlaneOf(PhysBlock block) const { return block / blocks_per_plane; }
+  constexpr uint32_t ChannelOfPlane(uint32_t plane) const {
+    return channels == 0 ? 0 : plane % channels;
+  }
   constexpr PhysBlock BlockAt(uint32_t plane, uint32_t index) const {
     return plane * blocks_per_plane + index;
   }

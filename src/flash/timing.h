@@ -1,9 +1,18 @@
 // Flash operation latencies (Table 2) and a virtual clock.
 //
-// The simulator is closed-loop: one request is in flight at a time per
-// replayed trace, and every device operation advances a shared virtual clock
-// by its service time. IOPS reported by the benches are
-// `operations / elapsed virtual seconds`, matching the paper's methodology.
+// Time is virtual and per shard. The clock tracks the *dependency chain* of
+// the host request currently being processed: every serialized charge
+// (Advance) or pipelined completion (SyncTo) moves the chain forward, and the
+// chain's value when a request finishes is that request's completion time.
+//
+// Closed-loop replay never rewinds the chain, so each operation's service
+// time simply accumulates — the classic depth-1 model. Open-loop replay
+// (queue-depth-N) rewinds the chain to each request's submit time with
+// BeginRequest(); contention between overlapping requests is then carried by
+// the per-plane/per-channel resources of the FlashPipeline event engine, not
+// by the chain itself. Submit times are nondecreasing by construction
+// (BeginRequest clamps to the issue floor), so no component ever observes a
+// request *starting* earlier than a previous request started.
 
 #ifndef FLASHTIER_FLASH_TIMING_H_
 #define FLASHTIER_FLASH_TIMING_H_
@@ -38,17 +47,46 @@ struct FlashTimings {
   constexpr uint64_t OobReadCostUs() const { return control_us + page_read_us; }
 };
 
-// Monotonic virtual time in microseconds, shared by all devices in one
-// simulated system.
+// Monotonic-submit virtual time in microseconds, shared by all devices in one
+// simulated system (one instance per shard).
 class SimClock {
  public:
+  // Completion frontier of the dependency chain currently being extended.
   uint64_t now_us() const { return now_us_; }
   double now_seconds() const { return static_cast<double>(now_us_) / 1e6; }
+
+  // Serialized charge: the chain (and whoever depends on it) waits `us`.
   void Advance(uint64_t us) { now_us_ += us; }
-  void Reset() { now_us_ = 0; }
+
+  // Pipelined completion: an event engine computed that the chain's newest
+  // dependency finishes at `us` (which already folds in resource waits).
+  void SyncTo(uint64_t us) {
+    if (us > now_us_) {
+      now_us_ = us;
+    }
+  }
+
+  // Open-loop request bracketing: rewind the chain to a new request's submit
+  // time, which may be earlier than the previous request's completion (that
+  // overlap is the point of queue-depth-N replay). Submit times are clamped
+  // to the issue floor so they never decrease across requests; returns the
+  // effective submit time.
+  uint64_t BeginRequest(uint64_t submit_us) {
+    if (submit_us > issue_floor_) {
+      issue_floor_ = submit_us;
+    }
+    now_us_ = issue_floor_;
+    return now_us_;
+  }
+
+  void Reset() {
+    now_us_ = 0;
+    issue_floor_ = 0;
+  }
 
  private:
   uint64_t now_us_ = 0;
+  uint64_t issue_floor_ = 0;  // largest submit time handed out so far
 };
 
 }  // namespace flashtier

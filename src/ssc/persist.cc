@@ -32,13 +32,24 @@ uint32_t PersistenceManager::SegmentCrc(const CheckpointSegment& seg) {
 
 void PersistenceManager::ChargeWrites(uint64_t pages) {
   stats_.log_page_writes += pages;
-  clock_->Advance(pages * timings_.WriteCostUs());
+  ChargeLogUs(pages * timings_.WriteCostUs());
 }
 
 void PersistenceManager::ChargeReads(uint64_t pages, uint64_t* recovery_us) {
   const uint64_t us = pages * timings_.ReadCostUs();
-  clock_->Advance(us);
+  ChargeLogUs(us);
   *recovery_us += us;
+}
+
+void PersistenceManager::ChargeLogUs(uint64_t us) {
+  if (pipeline_ != nullptr) {
+    pipeline_->ExecuteLog(us);
+    return;
+  }
+  // Stand-alone persistence (unit tests) has no device pipeline; the charge
+  // stays serial on the chain.
+  // flashlint: allow(clock-advance): no pipeline attached
+  clock_->Advance(us);
 }
 
 void PersistenceManager::Append(const LogRecord& record, bool sync) {
@@ -85,7 +96,7 @@ void PersistenceManager::Flush() {
   const uint64_t bytes = buffer_.size() * kRecordBytes;
   if (bytes <= options_.page_size) {
     ++stats_.log_page_writes;
-    clock_->Advance(timings_.atomic_write_us);
+    ChargeLogUs(timings_.atomic_write_us);
   } else {
     ChargeWrites(PagesFor(bytes));
   }

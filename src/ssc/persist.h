@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/flash/pipeline.h"
 #include "src/flash/timing.h"
 #include "src/flash/types.h"
 
@@ -310,6 +311,12 @@ class PersistenceManager {
     checkpoint_source_ = std::move(source);
   }
 
+  // Installed by the device: routes log/checkpoint I/O time through the
+  // device's event engine (the dedicated log resource) so commits overlap
+  // foreground media work. Without a pipeline the manager charges the clock
+  // serially — the stand-alone configuration unit tests use.
+  void set_pipeline(FlashPipeline* pipeline) { pipeline_ = pipeline; }
+
   // Checkpoints immediately from the installed source to reclaim log space,
   // counted as forced. No-op in kNone mode or without a source.
   void ForceCheckpoint();
@@ -441,12 +448,14 @@ class PersistenceManager {
   }
   void ChargeWrites(uint64_t pages);
   void ChargeReads(uint64_t pages, uint64_t* recovery_us);
+  void ChargeLogUs(uint64_t us);
   static uint32_t RecordCrc(const LogRecord& record);
   static uint32_t SegmentCrc(const CheckpointSegment& seg);
 
   Options options_;
   FlashTimings timings_;
   SimClock* clock_;
+  FlashPipeline* pipeline_ = nullptr;  // not owned; null in stand-alone use
 
   std::vector<LogRecord> buffer_;        // device RAM, lost on crash
   std::vector<LogRecord> durable_log_;   // on flash, since last checkpoint

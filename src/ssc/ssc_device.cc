@@ -32,6 +32,9 @@ SscDevice::SscDevice(const SscConfig& config, SimClock* clock)
   popts.log_region_pages = config.log_region_pages;
   popts.checkpoint_segment_entries = config.checkpoint_segment_entries;
   persist_ = std::make_unique<PersistenceManager>(popts, config.timings, clock);
+  // Log commits and checkpoint I/O go through the device's event engine so
+  // they overlap foreground media work on other planes.
+  persist_->set_pipeline(device_->pipeline());
   // Bounded log regions need a way to reclaim space on their own: install
   // the snapshot source so the persistence layer can force a checkpoint when
   // a flush would overflow the region.
@@ -71,7 +74,8 @@ Status SscDevice::Read(Lbn lbn, uint64_t* token) {
     }
   }
   ++ftl_stats_.host_read_misses;
-  clock_->Advance(config_.timings.control_us);  // in-memory lookup + reply
+  // In-memory lookup + reply: pure controller work on the block's channel.
+  device_->pipeline()->ExecuteControl(config_.timings.control_us, lbn);
   return Status::kNotPresent;
 }
 
@@ -296,7 +300,7 @@ Status SscDevice::Clean(Lbn lbn) {
 
 void SscDevice::Exists(Lbn start, uint64_t count, Bitmap* dirty_out) {
   dirty_out->Resize(count);
-  clock_->Advance(config_.timings.control_us);  // served from device memory
+  device_->pipeline()->ExecuteControl(config_.timings.control_us, start);  // device-memory scan
   const uint32_t ppb = device_->geometry().pages_per_block;
   for (uint64_t i = 0; i < count; ++i) {
     const Lbn lbn = start + i;
@@ -317,7 +321,7 @@ void SscDevice::Exists(Lbn start, uint64_t count, Bitmap* dirty_out) {
 
 void SscDevice::ExistsDetail(Lbn start, uint64_t count, std::vector<BlockInfo>* out) {
   out->assign(count, BlockInfo{});
-  clock_->Advance(config_.timings.control_us);  // served from device memory
+  device_->pipeline()->ExecuteControl(config_.timings.control_us, start);  // device-memory scan
   const uint32_t ppb = device_->geometry().pages_per_block;
   for (uint64_t i = 0; i < count; ++i) {
     const Lbn lbn = start + i;
@@ -456,7 +460,7 @@ void SscDevice::ChargeExistsScan() {
   // Model the scan as batched exists commands, one per 64 Ki blocks of the
   // cached footprint; each is a device-RAM lookup plus a command round trip.
   const uint64_t calls = cached_pages_ / 65536 + 1;
-  clock_->Advance(calls * config_.timings.control_us);
+  device_->pipeline()->ExecuteControl(calls * config_.timings.control_us, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -1075,6 +1079,9 @@ void SscDevice::DrainLog() {
 
 void SscDevice::SimulateCrash() {
   ResetRamState();
+  // Power failure loses in-flight device work: the event engine's resource
+  // frontiers reset along with the device's RAM state.
+  device_->pipeline()->Reset();
   persist_->Crash();
 }
 
@@ -1293,7 +1300,7 @@ Status SscDevice::Recover() {
     dirty_pages_ += static_cast<uint64_t>(std::popcount(e.dirty_bits));
   });
 
-  clock_->Advance(recovered_logs.size() * config_.timings.ReadCostUs());
+  device_->pipeline()->ExecuteLog(recovered_logs.size() * config_.timings.ReadCostUs());
   persist_->RecordRebuildTime(clock_->now_us() - rebuild_start_us);
   persist_->NotifyRecoveryPoint(RecoveryPoint::kMapsRebuilt);
   persist_->NotifyRecoveryPoint(RecoveryPoint::kDone);

@@ -1,0 +1,32 @@
+// Fixture: an FTL charging device time by advancing the virtual clock
+// directly. Serialized charges cannot overlap across planes, so open-loop
+// replay would see depth-1 latencies at every queue depth; both charges
+// below must be flagged as clock-advance violations — device time belongs
+// on the FlashPipeline event engine.
+#include <cstdint>
+
+namespace flashtier {
+
+struct SimClock {
+  uint64_t now = 0;
+  uint64_t now_us() const { return now; }
+  void Advance(uint64_t us) { now += us; }
+};
+
+class TinyFtl {
+ public:
+  explicit TinyFtl(SimClock* clock) : clock_(clock) {}
+
+  void ReadPage(uint64_t /*ppn*/) {
+    clock_->Advance(77);  // full service time, serialized on the chain
+  }
+
+  void ProgramPage(uint64_t /*ppn*/) {
+    clock_->Advance(97);
+  }
+
+ private:
+  SimClock* clock_;
+};
+
+}  // namespace flashtier

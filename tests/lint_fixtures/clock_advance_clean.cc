@@ -1,0 +1,52 @@
+// Fixture: the sanctioned shapes for charging device time. Media operations
+// go through the FlashPipeline event engine (whose completion syncs the
+// chain forward), and the one legitimate serial charge — a configuration
+// with no pipeline attached — carries an allow directive naming the rule.
+// Nothing here may be flagged.
+#include <cstdint>
+
+namespace flashtier {
+
+struct SimClock {
+  uint64_t now = 0;
+  uint64_t now_us() const { return now; }
+  void SyncTo(uint64_t us) {
+    if (us > now) {
+      now = us;
+    }
+  }
+  void Advance(uint64_t us) { now += us; }
+};
+
+struct FlashPipeline {
+  SimClock* clock;
+  uint64_t plane_free = 0;
+
+  void Execute(uint64_t duration_us) {
+    const uint64_t begin = clock->now_us() > plane_free ? clock->now_us() : plane_free;
+    plane_free = begin + duration_us;
+    clock->SyncTo(plane_free);
+  }
+};
+
+class TinyFtl {
+ public:
+  TinyFtl(SimClock* clock, FlashPipeline* pipeline) : clock_(clock), pipeline_(pipeline) {}
+
+  void ReadPage(uint64_t /*ppn*/) { pipeline_->Execute(77); }
+
+  void CommitLog(uint64_t us) {
+    if (pipeline_ != nullptr) {
+      pipeline_->Execute(us);
+      return;
+    }
+    // flashlint: allow(clock-advance): no pipeline attached
+    clock_->Advance(us);
+  }
+
+ private:
+  SimClock* clock_;
+  FlashPipeline* pipeline_;
+};
+
+}  // namespace flashtier

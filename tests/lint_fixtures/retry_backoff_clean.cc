@@ -26,6 +26,9 @@ Status RetryOnVirtualTime(SimClock* clock, uint32_t max_attempts, uint64_t deadl
     if (clock->now_us() - start_us + backoff_us >= deadline_us) {
       return Status::kTimeout;
     }
+    // Backoff is a serialized charge on the chain, like the src/disk/ retry
+    // session this fixture mirrors (that live path is rule-exempt).
+    // flashlint: allow(clock-advance): virtual-time retry backoff
     clock->Advance(backoff_us);
     backoff_us *= 2;
     s = AttemptOnce();

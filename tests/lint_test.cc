@@ -26,7 +26,7 @@ const std::map<std::string, std::string> kFixtureRules = {
     {"wall_clock", "wall-clock"},         {"random", "random"},
     {"unordered_iter", "unordered-iter"}, {"ignored_status", "ignored-status"},
     {"commit_point", "commit-point"},     {"retry_backoff", "wall-clock"},
-    {"retry_status", "ignored-status"},
+    {"retry_status", "ignored-status"},   {"clock_advance", "clock-advance"},
 };
 
 fs::path SourceDir() { return fs::path(FLASHTIER_SOURCE_DIR); }

@@ -45,7 +45,7 @@ struct ShardedRun {
 // bit-identical to the seed system.
 ShardedRun RunWith(uint32_t shards, uint32_t threads, SystemType type,
                    const PolicyConfig& admission = PolicyConfig{},
-                   bool detach_policies = false) {
+                   bool detach_policies = false, uint32_t queue_depth = 1) {
   SystemConfig config;
   config.type = type;
   config.cache_pages = 8192;
@@ -62,6 +62,7 @@ ShardedRun RunWith(uint32_t shards, uint32_t threads, SystemType type,
   opts.warmup_fraction = 0.15;
   opts.verify = true;
   opts.threads = threads;
+  opts.queue_depth = queue_depth;
   ReplayEngine engine(&system, opts);
   ShardedRun run;
   run.metrics = engine.Run(workload);
@@ -111,6 +112,55 @@ TEST(ParallelReplayTest, VirtualMetricsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(t8.metrics.shards, 8u);
   ExpectVirtualTimeEqual(t1, t4);
   ExpectVirtualTimeEqual(t1, t8);
+}
+
+// Open-loop queue-depth-8 replay: the virtual-time metrics — including the
+// new latency percentiles — are still a pure function of the shard streams,
+// so 1, 4 and 8 worker threads must agree bit for bit.
+TEST(ParallelReplayTest, OpenLoopMetricsIdenticalAcrossThreadCounts) {
+  const PolicyConfig admission;
+  const ShardedRun t1 =
+      RunWith(8, 1, SystemType::kSscWriteBack, admission, false, /*queue_depth=*/8);
+  const ShardedRun t4 =
+      RunWith(8, 4, SystemType::kSscWriteBack, admission, false, /*queue_depth=*/8);
+  const ShardedRun t8 =
+      RunWith(8, 8, SystemType::kSscWriteBack, admission, false, /*queue_depth=*/8);
+  ASSERT_EQ(t1.metrics.stale_reads, 0u);
+  ASSERT_GT(t1.metrics.requests, 0u);
+  EXPECT_EQ(t1.metrics.queue_depth, 8u);
+  ExpectVirtualTimeEqual(t1, t4);
+  ExpectVirtualTimeEqual(t1, t8);
+  for (const double p : {50.0, 95.0, 99.0, 99.9}) {
+    EXPECT_EQ(t1.metrics.response_us.PercentileUs(p), t4.metrics.response_us.PercentileUs(p));
+    EXPECT_EQ(t1.metrics.response_us.PercentileUs(p), t8.metrics.response_us.PercentileUs(p));
+  }
+}
+
+// Queue depth changes request *timing*, never request *semantics*: the FTL
+// state machines execute in issue order either way, so every request and
+// device counter matches the depth-1 run exactly, while overlap shrinks the
+// measured elapsed time.
+TEST(ParallelReplayTest, OpenLoopPreservesStateAndShrinksElapsed) {
+  const PolicyConfig admission;
+  const ShardedRun d1 = RunWith(8, 4, SystemType::kSscWriteBack);
+  const ShardedRun d8 =
+      RunWith(8, 4, SystemType::kSscWriteBack, admission, false, /*queue_depth=*/8);
+  EXPECT_EQ(d1.metrics.requests, d8.metrics.requests);
+  EXPECT_EQ(d1.metrics.reads, d8.metrics.reads);
+  EXPECT_EQ(d1.metrics.writes, d8.metrics.writes);
+  EXPECT_EQ(d1.metrics.stale_reads, d8.metrics.stale_reads);
+  EXPECT_EQ(d1.metrics.failed_requests, d8.metrics.failed_requests);
+  EXPECT_EQ(d1.manager.read_hits, d8.manager.read_hits);
+  EXPECT_EQ(d1.manager.read_misses, d8.manager.read_misses);
+  EXPECT_EQ(d1.manager.writebacks, d8.manager.writebacks);
+  EXPECT_EQ(d1.ftl.gc_invocations, d8.ftl.gc_invocations);
+  EXPECT_EQ(d1.flash.page_writes, d8.flash.page_writes);
+  EXPECT_EQ(d1.flash.erases, d8.flash.erases);
+  EXPECT_EQ(d1.metrics.queue_depth, 1u);
+  EXPECT_EQ(d8.metrics.queue_depth, 8u);
+  ASSERT_GT(d1.metrics.elapsed_us, 0u);
+  EXPECT_LT(d8.metrics.elapsed_us, d1.metrics.elapsed_us);
+  EXPECT_GT(d8.metrics.Iops(), d1.metrics.Iops());
 }
 
 TEST(ParallelReplayTest, WriteThroughAlsoDeterministic) {

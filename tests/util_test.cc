@@ -252,6 +252,78 @@ TEST(LatencyHistogramTest, ZeroValues) {
   h.Add(0);
   h.Add(0);
   EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(99.9), 0.0);
+}
+
+// PercentileUs interpolates linearly inside a power-of-two bucket. 100
+// identical 100 us samples all land in bucket [64, 128): rank 50 of 100 is
+// halfway through the bucket's population, so P50 = 64 + 64 * 0.5 = 96 —
+// pinned exactly, including the clamp to the observed max for high p.
+TEST(LatencyHistogramTest, PercentileInterpolatesWithinBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Add(100);
+  }
+  EXPECT_DOUBLE_EQ(h.PercentileUs(50), 96.0);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(25), 80.0);          // 64 + 64 * 0.25
+  EXPECT_DOUBLE_EQ(h.PercentileUs(95), 100.0);         // 124.8 clamped to max
+  EXPECT_DOUBLE_EQ(h.PercentileUs(99.9), 100.0);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(100), 100.0);
+}
+
+// Pinned values across two populated buckets: four samples in [1, 2), six
+// in [2, 4). Rank walks the cumulative counts; the fraction within the
+// holding bucket maps linearly onto its range.
+TEST(LatencyHistogramTest, PercentileSpansBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 4; ++i) {
+    h.Add(1);
+  }
+  for (int i = 0; i < 4; ++i) {
+    h.Add(2);
+  }
+  h.Add(3);
+  h.Add(3);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(10), 1.25);              // rank 1 of 4 in [1, 2)
+  EXPECT_DOUBLE_EQ(h.PercentileUs(40), 2.0);               // bucket boundary
+  EXPECT_DOUBLE_EQ(h.PercentileUs(50), 2.0 + 2.0 / 6.0);   // rank 5: 1 of 6 into [2, 4)
+  EXPECT_DOUBLE_EQ(h.PercentileUs(100), 3.0);              // clamped to max
+  EXPECT_DOUBLE_EQ(h.PercentileUs(0), 1.0);                // empty prefix clamps to lo
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng(23);
+  for (int i = 0; i < 10'000; ++i) {
+    h.Add(rng.Below(100'000));
+  }
+  double prev = 0.0;
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    const double v = h.PercentileUs(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  EXPECT_LE(prev, static_cast<double>(h.max()));
+}
+
+// Merging shard histograms preserves percentiles exactly: bucket-wise sums
+// are order-independent, so split populations report identical tails.
+TEST(LatencyHistogramTest, MergePreservesPercentiles) {
+  LatencyHistogram whole;
+  LatencyHistogram a;
+  LatencyHistogram b;
+  Rng rng(29);
+  for (int i = 0; i < 5'000; ++i) {
+    const uint64_t v = rng.Below(10'000);
+    whole.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_TRUE(a == whole);
+  for (const double p : {50.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(a.PercentileUs(p), whole.PercentileUs(p));
+  }
 }
 
 // ---- Args ----

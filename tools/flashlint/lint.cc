@@ -603,6 +603,52 @@ void CheckCommitPoints(const std::vector<SplitLine>& lines, const std::string& p
   }
 }
 
+// ---- clock-advance ----
+
+// Paths allowed to call SimClock::Advance directly: the clock's own
+// definition, the FlashPipeline event engine built on it, and the disk tier
+// (a single-actuator device the model keeps chain-serial by design,
+// including its retry-session backoff). Flash-side code must charge device
+// time through the pipeline (Execute/ExecuteControl/ExecuteLog) so phases on
+// distinct planes can overlap under open-loop replay.
+bool ClockAdvanceExempt(const std::string& path) {
+  return EndsWith(path, "flash/timing.h") ||
+         path.find("flash/pipeline.") != std::string::npos ||
+         path.find("src/disk/") != std::string::npos;
+}
+
+void CheckClockAdvance(const std::vector<SplitLine>& lines, const std::string& path,
+                       const Allowances& allow, std::vector<Violation>* out) {
+  if (ClockAdvanceExempt(path)) {
+    return;
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    size_t pos = FindIdent(code, "Advance");
+    while (pos != std::string::npos) {
+      // Only member calls (x.Advance( / x->Advance() — a free function or a
+      // declaration of some other Advance is not a clock charge.
+      const bool member =
+          pos > 0 && (code[pos - 1] == '.' ||
+                      (pos > 1 && code[pos - 1] == '>' && code[pos - 2] == '-'));
+      size_t after = pos + std::string("Advance").size();
+      while (after < code.size() && code[after] == ' ') {
+        ++after;
+      }
+      const int line = static_cast<int>(i) + 1;
+      if (member && after < code.size() && code[after] == '(' &&
+          !allow.Allowed("clock-advance", line)) {
+        out->push_back({path, line, "clock-advance",
+                        "SimClock::Advance outside the event engine serializes device time; "
+                        "charge through FlashPipeline (Execute/ExecuteControl/ExecuteLog) "
+                        "so planes can overlap"});
+        break;
+      }
+      pos = FindIdent(code, "Advance", pos + std::string("Advance").size());
+    }
+  }
+}
+
 }  // namespace
 
 bool IsLintablePath(const std::string& path) {
@@ -635,6 +681,7 @@ std::vector<Violation> LintTree(const std::vector<FileInput>& files) {
     CheckUnorderedIter(lines, path, allow, &out);
     CheckIgnoredStatus(lines, path, status_fns, allow, &out);
     CheckCommitPoints(lines, path, allow, &recovery, &out);
+    CheckClockAdvance(lines, path, allow, &out);
   }
   if (recovery.start_line != 0 && !recovery.done_fired) {
     out.push_back({recovery.start_path, recovery.start_line, "commit-point",
