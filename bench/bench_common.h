@@ -24,6 +24,7 @@
 
 #include "src/core/flashtier.h"
 #include "src/core/replay.h"
+#include "src/kv/kv_stats.h"
 #include "src/trace/trace_stats.h"
 #include "src/trace/workload.h"
 #include "src/util/args.h"
@@ -193,6 +194,33 @@ inline RunResult ReplayWorkload(const WorkloadProfile& profile, const SystemConf
   return result;
 }
 
+// The tiny-object KV counters every stats line carries (DESIGN.md §5k).
+// Block benches have no KV layer and emit zeros; bench_ablation_kv passes
+// the real aggregate. Keeping the block in every line keeps the JSON schema
+// uniform for downstream tooling.
+inline void AppendKvJson(FILE* f, const KvStats& kv, double flash_writes_per_set) {
+  std::fprintf(f,
+               ",\"kv\":{\"gets\":%llu,\"hits\":%llu,\"misses\":%llu,\"sets\":%llu,"
+               "\"overwrites\":%llu,\"rejected_sets\":%llu,\"deletes\":%llu,"
+               "\"slab_fills\":%llu,\"slab_page_writes\":%llu,\"compactions\":%llu,"
+               "\"slots_moved\":%llu,\"slots_reclaimed\":%llu,\"slab_evictions\":%llu,"
+               "\"lazy_slab_drops\":%llu,\"dead_slab_reclaims\":%llu,"
+               "\"recoveries\":%llu,\"restaged_dirty_slots\":%llu,"
+               "\"dropped_clean_slots\":%llu,\"lost_objects\":%llu,"
+               "\"flash_writes_per_set\":%.4f}",
+               (unsigned long long)kv.gets, (unsigned long long)kv.hits,
+               (unsigned long long)kv.misses, (unsigned long long)kv.sets,
+               (unsigned long long)kv.overwrites, (unsigned long long)kv.rejected_sets,
+               (unsigned long long)kv.deletes, (unsigned long long)kv.slab_fills,
+               (unsigned long long)kv.slab_page_writes, (unsigned long long)kv.compactions,
+               (unsigned long long)kv.slots_moved, (unsigned long long)kv.slots_reclaimed,
+               (unsigned long long)kv.slab_evictions, (unsigned long long)kv.lazy_slab_drops,
+               (unsigned long long)kv.dead_slab_reclaims, (unsigned long long)kv.recoveries,
+               (unsigned long long)kv.restaged_dirty_slots,
+               (unsigned long long)kv.dropped_clean_slots,
+               (unsigned long long)kv.lost_objects, flash_writes_per_set);
+}
+
 // Appends one JSON object (a line of JSON-lines) with this run's counters to
 // `path`: replay metrics, manager stats (including the §5d fault-handling
 // counters), and — when the system has an SSC — FTL, persistence, and raw
@@ -321,6 +349,7 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
                  (unsigned long long)faults.read_corruptions,
                  (unsigned long long)faults.crc_mismatches);
   }
+  AppendKvJson(f, KvStats{}, 0.0);  // block systems carry no KV layer
   std::fprintf(f, "}\n");
   std::fclose(f);
 }

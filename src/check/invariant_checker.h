@@ -31,6 +31,8 @@ namespace flashtier {
 
 class AdmissionPolicy;
 class CacheManager;
+class KvCache;
+class KvShard;
 class PersistenceManager;
 class SscDevice;
 class WriteBackManager;
@@ -91,9 +93,26 @@ class InvariantChecker {
   // evicts are durable, so presence would mean the bypass leaked).
   static CheckReport CheckPolicy(const AdmissionPolicy& policy, const SscDevice* ssc);
 
+  // Audits one KV shard (DESIGN.md §5k): key-map <-> live-slot bijection,
+  // per-slab occupancy counters and slot geometry recomputed from the slots,
+  // at most one open (unsealed) slab, sealed-dirty slabs' pages present and
+  // dirty on the medium (clean slabs are exempt — SE-GC may silently drop
+  // them; `faults_possible` additionally excuses pages an injected medium
+  // fault destroyed), the shard's admission-policy bounds and rejected-key
+  // absence, and the underlying SscDevice's own structural invariants.
+  // Implemented in kv_check.cc.
+  static CheckReport CheckKv(const KvShard& shard, bool faults_possible = false);
+
+  // Audits every shard of a KvCache plus the cross-shard partition
+  // invariant: a shard's key map may only hold keys the router assigns to it.
+  static CheckReport CheckKv(const KvCache& cache, bool faults_possible = false);
+
  private:
   static CheckReport CheckSscOnly(const SscDevice& ssc);
   static bool SscHolds(const SscDevice& ssc, uint64_t lbn);
+  // Medium view of one slab page for the KV audit: whether `lbn` is present
+  // in the SSC's maps and its dirty bit. Defined in kv_check.cc.
+  static void SscPageState(const SscDevice& ssc, uint64_t lbn, bool* present, bool* dirty);
 };
 
 }  // namespace flashtier

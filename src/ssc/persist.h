@@ -63,6 +63,11 @@ enum class LogOpType : uint8_t {
   kClearBlockPages,  // presence+dirty bits cleared within a block-level entry
   kSetCleanPage,     // page-level dirty flag cleared (buffered; may be lost)
   kSetCleanBlocks,   // block-level dirty bits cleared (buffered; may be lost)
+  // KV layer (src/kv, DESIGN.md §5k): tiny-object slot directory records.
+  // They ride the same log/checkpoint machinery; the SSC skips them during
+  // its own map rebuild and hands them to the KV layer after recovery.
+  kKvInsertSlot,     // key -> (slab lbn, slot, size, dirty, value token)
+  kKvDeleteSlot,     // key's slot invalidated (delete, overwrite, eviction)
 };
 
 struct LogRecord {
@@ -75,9 +80,14 @@ struct LogRecord {
   uint32_t crc = 0;           // CRC32-C over the fields above; set by Append
 };
 
-// One serialized forward-map entry inside a checkpoint.
+// One serialized forward-map entry inside a checkpoint. KV slot entries
+// (kv = true) reuse the same wire shape — key is the object key, ppn the
+// slab LBN, present_bits the packed slot metadata and dirty_bits the value
+// token — and pack their flag into spare bits of the level byte, so the
+// serialized entry size is unchanged.
 struct CheckpointEntry {
   bool block_level = false;
+  bool kv = false;
   Lbn key = 0;
   Ppn ppn = kInvalidPpn;        // page-level: page; block-level: first ppn of block
   uint64_t present_bits = 0;

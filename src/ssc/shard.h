@@ -38,6 +38,17 @@ struct ShardRouter {
     }
     return static_cast<uint32_t>(MixHash64(lbn / grain_pages) % shards);
   }
+
+  // Object-key routing for the KV layer (DESIGN.md §5k). Keys are opaque
+  // identifiers with no spatial locality to preserve, so they hash at unit
+  // grain; like ShardOf, the result is a pure function of the key, so
+  // per-key order survives any thread count.
+  uint32_t ShardOfKey(uint64_t key) const {
+    if (shards <= 1) {
+      return 0;
+    }
+    return static_cast<uint32_t>(MixHash64(key) % shards);
+  }
 };
 
 }  // namespace flashtier

@@ -1104,6 +1104,7 @@ Status SscDevice::Recover() {
   // previous aborted attempt had rebuilt (without this reset, a second
   // Recover would double-queue dead blocks and double-count pages).
   ResetRamState();
+  recovered_kv_ = RecoveredKv{};
 
   std::vector<CheckpointEntry> checkpoint;
   std::vector<LogRecord> tail;
@@ -1119,11 +1120,20 @@ Status SscDevice::Recover() {
   size_t block_entries = 0;
   size_t page_entries = 0;
   for (const CheckpointEntry& e : checkpoint) {
+    if (e.kv) {
+      continue;
+    }
     (e.block_level ? block_entries : page_entries) += 1;
   }
   block_map_.Reserve(block_entries);
   page_map_.Reserve(page_entries);
   for (const CheckpointEntry& e : checkpoint) {
+    if (e.kv) {
+      // KV slot-directory entries are opaque to the SSC's own maps; they are
+      // handed to the KV layer, which rebuilds after the device finishes.
+      recovered_kv_.checkpoint.push_back(e);
+      continue;
+    }
     if (e.block_level) {
       BlockEntry be;
       be.phys = g.BlockOf(e.ppn);
@@ -1171,6 +1181,10 @@ Status SscDevice::Recover() {
         if (BlockEntry* e = block_map_.Find(r.key); e != nullptr) {
           e->dirty_bits &= ~r.dirty_bits;
         }
+        break;
+      case LogOpType::kKvInsertSlot:
+      case LogOpType::kKvDeleteSlot:
+        recovered_kv_.log.push_back(r);
         break;
     }
   }
@@ -1330,6 +1344,10 @@ std::vector<CheckpointEntry> SscDevice::SnapshotForCheckpoint() const {
     e.dirty_bits = be.dirty_bits;
     entries.push_back(e);
   });
+  if (kv_snapshot_source_) {
+    std::vector<CheckpointEntry> kv_entries = kv_snapshot_source_();
+    entries.insert(entries.end(), kv_entries.begin(), kv_entries.end());
+  }
   return entries;
 }
 

@@ -232,6 +232,37 @@ class SscDevice {
   // persistence manager and flips its broken-recovery flag through this.
   PersistenceManager* persist_for_testing() { return persist_.get(); }
 
+  // ---- KV layer plumbing (src/kv, DESIGN.md §5k) ----
+
+  // The KV layer shares this shard's persistence log: its slot records ride
+  // the same group-commit/checkpoint machinery, so G1–G3 extend to objects.
+  PersistenceManager* persist() { return persist_.get(); }
+
+  // Installed by the KV layer: materializes kv-flagged checkpoint entries so
+  // device checkpoints subsume the KV slot directory too (a checkpoint that
+  // truncated the log without them would silently forget every slot).
+  using KvSnapshotSource = std::function<std::vector<CheckpointEntry>()>;
+  void set_kv_snapshot_source(KvSnapshotSource source) {
+    kv_snapshot_source_ = std::move(source);
+  }
+
+  // KV durable state reconstructed by the most recent Recover(): kv-flagged
+  // checkpoint entries followed by the KV log-tail records in commit order.
+  // The KV layer takes them once, immediately after the device recovers.
+  struct RecoveredKv {
+    std::vector<CheckpointEntry> checkpoint;
+    std::vector<LogRecord> log;
+  };
+  RecoveredKv TakeRecoveredKv() { return std::exchange(recovered_kv_, RecoveredKv{}); }
+
+  // Runs the checkpoint policy after a KV mutation, snapshotting the device
+  // map plus the installed KV directory — the same call the SSC makes after
+  // its own writes, exposed because KV slot records grow the log without
+  // passing through WriteInternal.
+  void MaybeCheckpointForKv() {
+    persist_->MaybeCheckpoint([this] { return SnapshotForCheckpoint(); });
+  }
+
  private:
   friend class InvariantChecker;
   friend class CheckTestPeer;  // injects corruption in invariant-checker tests
@@ -333,6 +364,8 @@ class SscDevice {
 
   AuditHook audit_hook_;
   DataLossHook data_loss_hook_;
+  KvSnapshotSource kv_snapshot_source_;
+  RecoveredKv recovered_kv_;
   uint64_t last_audited_gc_ = 0;
   uint64_t last_audited_checkpoints_ = 0;
 };

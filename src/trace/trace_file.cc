@@ -8,9 +8,11 @@ namespace flashtier {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'T', 'T', 'R'};
+constexpr char kKvMagic[4] = {'F', 'T', 'K', 'V'};
 constexpr uint32_t kVersion = 1;
 constexpr size_t kHeaderSize = 4 + 4 + 8 + 8;
 constexpr size_t kRecordSize = 8 + 1;
+constexpr size_t kKvRecordSize = 8 + 1 + 4;
 
 void PackRecord(const TraceRecord& r, uint8_t out[kRecordSize]) {
   std::memcpy(out, &r.lbn, 8);
@@ -24,7 +26,41 @@ TraceRecord UnpackRecord(const uint8_t in[kRecordSize]) {
   return r;
 }
 
+void PackKvRecord(const KvTraceRecord& r, uint8_t out[kKvRecordSize]) {
+  std::memcpy(out, &r.key, 8);
+  out[8] = static_cast<uint8_t>(r.op);
+  std::memcpy(out + 9, &r.size, 4);
+}
+
+KvTraceRecord UnpackKvRecord(const uint8_t in[kKvRecordSize]) {
+  KvTraceRecord r;
+  std::memcpy(&r.key, in, 8);
+  r.op = static_cast<KvOp>(in[8]);
+  std::memcpy(&r.size, in + 9, 4);
+  return r;
+}
+
 }  // namespace
+
+TraceFileKind ClassifyTraceFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return TraceFileKind::kUnknown;
+  }
+  char magic[4] = {};
+  const size_t n = std::fread(magic, 1, 4, f);
+  std::fclose(f);
+  if (n != 4) {
+    return TraceFileKind::kUnknown;
+  }
+  if (std::memcmp(magic, kMagic, 4) == 0) {
+    return TraceFileKind::kBlock;
+  }
+  if (std::memcmp(magic, kKvMagic, 4) == 0) {
+    return TraceFileKind::kKv;
+  }
+  return TraceFileKind::kUnknown;
+}
 
 TraceFileWriter::~TraceFileWriter() {
   if (file_ != nullptr) {
@@ -140,6 +176,125 @@ bool TraceFileReader::Next(TraceRecord* record) {
 }
 
 void TraceFileReader::Rewind() {
+  pos_ = 0;
+  if (file_ != nullptr) {
+    std::fseek(file_, static_cast<long>(kHeaderSize), SEEK_SET);
+  }
+}
+
+// --------------------------------------------------------------------------
+// KV trace files ("FTKV"): same header/footer scheme, 13-byte records.
+// --------------------------------------------------------------------------
+
+KvTraceFileWriter::~KvTraceFileWriter() {
+  if (file_ != nullptr) {
+    (void)Close();
+  }
+}
+
+Status KvTraceFileWriter::Open(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::kIoError;
+  }
+  count_ = 0;
+  crc_ = 0;
+  uint8_t header[kHeaderSize] = {};
+  std::memcpy(header, kKvMagic, 4);
+  std::memcpy(header + 4, &kVersion, 4);
+  if (std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    return Status::kIoError;
+  }
+  return Status::kOk;
+}
+
+Status KvTraceFileWriter::Append(const KvTraceRecord& record) {
+  if (file_ == nullptr) {
+    return Status::kInvalidArgument;
+  }
+  uint8_t buf[kKvRecordSize];
+  PackKvRecord(record, buf);
+  if (std::fwrite(buf, 1, kKvRecordSize, file_) != kKvRecordSize) {
+    return Status::kIoError;
+  }
+  crc_ = Crc32c(crc_, buf, kKvRecordSize);
+  ++count_;
+  return Status::kOk;
+}
+
+Status KvTraceFileWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::kInvalidArgument;
+  }
+  Status result = Status::kOk;
+  if (std::fwrite(&crc_, 1, 4, file_) != 4) {
+    result = Status::kIoError;
+  }
+  uint8_t header[kHeaderSize] = {};
+  std::memcpy(header, kKvMagic, 4);
+  std::memcpy(header + 4, &kVersion, 4);
+  std::memcpy(header + 8, &count_, 8);
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    result = Status::kIoError;
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return result;
+}
+
+KvTraceFileReader::~KvTraceFileReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status KvTraceFileReader::Open(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::kIoError;
+  }
+  uint8_t header[kHeaderSize];
+  if (std::fread(header, 1, kHeaderSize, file_) != kHeaderSize ||
+      std::memcmp(header, kKvMagic, 4) != 0) {
+    return Status::kCorrupt;
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, header + 4, 4);
+  if (version != kVersion) {
+    return Status::kCorrupt;
+  }
+  std::memcpy(&count_, header + 8, 8);
+  uint32_t crc = 0;
+  uint8_t buf[kKvRecordSize];
+  for (uint64_t i = 0; i < count_; ++i) {
+    if (std::fread(buf, 1, kKvRecordSize, file_) != kKvRecordSize) {
+      return Status::kCorrupt;
+    }
+    crc = Crc32c(crc, buf, kKvRecordSize);
+  }
+  uint32_t stored = 0;
+  if (std::fread(&stored, 1, 4, file_) != 4 || stored != crc) {
+    return Status::kCorrupt;
+  }
+  Rewind();
+  return Status::kOk;
+}
+
+bool KvTraceFileReader::Next(KvTraceRecord* record) {
+  if (file_ == nullptr || pos_ >= count_) {
+    return false;
+  }
+  uint8_t buf[kKvRecordSize];
+  if (std::fread(buf, 1, kKvRecordSize, file_) != kKvRecordSize) {
+    return false;
+  }
+  *record = UnpackKvRecord(buf);
+  ++pos_;
+  return true;
+}
+
+void KvTraceFileReader::Rewind() {
   pos_ = 0;
   if (file_ != nullptr) {
     std::fseek(file_, static_cast<long>(kHeaderSize), SEEK_SET);

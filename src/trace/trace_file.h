@@ -1,10 +1,13 @@
-// Binary trace file format: 24-byte header + 9-byte packed records.
+// Binary trace file formats: 24-byte header + packed records.
 //
-//   header: magic "FTTR", u32 version, u64 record count, u64 reserved
-//   record: u64 lbn, u8 op
+//   block trace: magic "FTTR", u32 version, u64 record count, u64 reserved
+//                record: u64 lbn, u8 op (9 bytes)
+//   kv trace:    magic "FTKV", same header shape
+//                record: u64 key, u8 op, u32 size (13 bytes)
 //
 // Checksummed footer (CRC32-C over all records) so truncated files are
-// detected on open.
+// detected on open. TraceFileMagic() peeks a file's magic so tools can
+// dispatch on trace kind.
 
 #ifndef FLASHTIER_TRACE_TRACE_FILE_H_
 #define FLASHTIER_TRACE_TRACE_FILE_H_
@@ -13,10 +16,16 @@
 #include <memory>
 #include <string>
 
+#include "src/trace/kv_trace.h"
 #include "src/trace/trace.h"
 #include "src/util/status.h"
 
 namespace flashtier {
+
+enum class TraceFileKind : uint8_t { kUnknown = 0, kBlock, kKv };
+
+// Reads just enough of `path` to classify it (does not validate the CRC).
+TraceFileKind ClassifyTraceFile(const std::string& path);
 
 // Streams records to a file; finalizes header+footer on Close().
 class TraceFileWriter {
@@ -51,6 +60,48 @@ class TraceFileReader final : public TraceSource {
   Status Open(const std::string& path);
 
   bool Next(TraceRecord* record) override;
+  void Rewind() override;
+  uint64_t size_hint() const override { return count_; }
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t count_ = 0;
+  uint64_t pos_ = 0;
+};
+
+// Streams KV records to a file; finalizes header+footer on Close().
+class KvTraceFileWriter {
+ public:
+  KvTraceFileWriter() = default;
+  ~KvTraceFileWriter();
+
+  KvTraceFileWriter(const KvTraceFileWriter&) = delete;
+  KvTraceFileWriter& operator=(const KvTraceFileWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Append(const KvTraceRecord& record);
+  Status Close();
+
+  uint64_t written() const { return count_; }
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t count_ = 0;
+  uint32_t crc_ = 0;
+};
+
+// Reads a KV trace file as a KvTraceSource. Validates header and footer CRC.
+class KvTraceFileReader final : public KvTraceSource {
+ public:
+  KvTraceFileReader() = default;
+  ~KvTraceFileReader() override;
+
+  KvTraceFileReader(const KvTraceFileReader&) = delete;
+  KvTraceFileReader& operator=(const KvTraceFileReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  bool Next(KvTraceRecord* record) override;
   void Rewind() override;
   uint64_t size_hint() const override { return count_; }
 

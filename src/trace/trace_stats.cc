@@ -146,6 +146,64 @@ uint64_t TraceStats::SingleAccessBlocks() const {
   return n;
 }
 
+void KvTraceStats::Add(const KvTraceRecord& record) {
+  ++total_ops_;
+  KeyCount& c = counts_[record.key];
+  if (c.accesses != 0) {
+    const uint64_t interval = total_ops_ - c.last_seen;
+    size_t bucket = 0;
+    while ((interval >> (bucket + 1)) != 0) {
+      ++bucket;
+    }
+    if (reref_hist_.size() <= bucket) {
+      reref_hist_.resize(bucket + 1, 0);
+    }
+    ++reref_hist_[bucket];
+    ++reref_accesses_;
+  }
+  c.last_seen = total_ops_;
+  ++c.accesses;
+  switch (record.op) {
+    case KvOp::kGet:
+      ++gets_;
+      break;
+    case KvOp::kSet: {
+      ++sets_;
+      set_bytes_ += record.size;
+      size_t bucket = 0;
+      while ((static_cast<uint64_t>(record.size) >> (bucket + 1)) != 0) {
+        ++bucket;
+      }
+      if (size_hist_.size() <= bucket) {
+        size_hist_.resize(bucket + 1, 0);
+      }
+      ++size_hist_[bucket];
+      break;
+    }
+    case KvOp::kDelete:
+      ++deletes_;
+      break;
+  }
+}
+
+void KvTraceStats::Consume(KvTraceSource& source) {
+  KvTraceRecord r;
+  while (source.Next(&r)) {
+    Add(r);
+  }
+  source.Rewind();
+}
+
+uint64_t KvTraceStats::SingleAccessKeys() const {
+  uint64_t n = 0;
+  for (const auto& [key, c] : counts_) {
+    if (c.accesses == 1) {
+      ++n;
+    }
+  }
+  return n;
+}
+
 double TraceStats::FractionOfRegionsBelow(double top_fraction, double percent_of_region) const {
   const std::vector<uint64_t> densities = RegionDensities(top_fraction);
   if (densities.empty()) {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/trace/kv_trace.h"
 #include "src/trace/trace.h"
 
 namespace flashtier {
@@ -72,6 +73,61 @@ class TraceStats {
   uint64_t total_ops_ = 0;
   uint64_t writes_ = 0;
   Lbn max_lbn_ = 0;
+  std::vector<uint64_t> reref_hist_;
+  uint64_t reref_accesses_ = 0;
+};
+
+// KV-trace statistics (DESIGN.md §5k): the object-level view a slab-packing
+// cache and its admission policy care about — how small the objects are
+// (packing benefit) and how soon keys are re-referenced (admission benefit).
+class KvTraceStats {
+ public:
+  void Add(const KvTraceRecord& record);
+
+  // Consumes an entire source (leaves it rewound).
+  void Consume(KvTraceSource& source);
+
+  uint64_t total_ops() const { return total_ops_; }
+  uint64_t gets() const { return gets_; }
+  uint64_t sets() const { return sets_; }
+  uint64_t deletes() const { return deletes_; }
+  uint64_t unique_keys() const { return counts_.size(); }
+  uint64_t set_bytes() const { return set_bytes_; }
+  double MeanObjectBytes() const {
+    return sets_ == 0 ? 0.0 : static_cast<double>(set_bytes_) / static_cast<double>(sets_);
+  }
+  // Sets per 4 KB slab at perfect packing vs one: the headroom slab packing
+  // has over one-object-per-block placement for this trace.
+  double ObjectsPerSlabAtMeanSize() const {
+    const double mean = MeanObjectBytes();
+    return mean == 0.0 ? 0.0 : 4096.0 / mean;
+  }
+
+  // Object-size histogram over set operations: bucket i counts sets with
+  // size in [2^i, 2^(i+1)).
+  const std::vector<uint64_t>& SizeHistogram() const { return size_hist_; }
+
+  // Per-key re-reference intervals, mirroring TraceStats: for every access
+  // to a previously seen key, records since its prior access, bucketed by
+  // power of two.
+  const std::vector<uint64_t>& RerefIntervalHistogram() const { return reref_hist_; }
+  uint64_t reref_accesses() const { return reref_accesses_; }
+  // Keys referenced exactly once — fills that can never hit.
+  uint64_t SingleAccessKeys() const;
+
+ private:
+  struct KeyCount {
+    uint64_t accesses = 0;
+    uint64_t last_seen = 0;  // 1-based index of this key's latest access
+  };
+
+  std::unordered_map<uint64_t, KeyCount> counts_;
+  uint64_t total_ops_ = 0;
+  uint64_t gets_ = 0;
+  uint64_t sets_ = 0;
+  uint64_t deletes_ = 0;
+  uint64_t set_bytes_ = 0;
+  std::vector<uint64_t> size_hist_;
   std::vector<uint64_t> reref_hist_;
   uint64_t reref_accesses_ = 0;
 };

@@ -306,4 +306,65 @@ bool SyntheticWorkload::Next(TraceRecord* record) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Tiny-object KV workloads (DESIGN.md §5k)
+// ---------------------------------------------------------------------------
+
+KvZipfWorkload::KvZipfWorkload(const KvWorkloadProfile& profile)
+    : profile_(profile), rng_(profile.seed ^ 0xcafeull) {
+  // Size classes are powers of two spanning [min_size, max_size]; a Zipf
+  // draw over classes (small classes most popular) plus a uniform position
+  // within the class gives the long-tailed small-object mix. One draw per
+  // key at build time: an object's size is a property of the key.
+  uint32_t min_size = std::max(profile_.min_size, kKvMinObjectBytes);
+  uint32_t max_size = std::min(profile_.max_size, kKvMaxObjectBytes);
+  if (max_size < min_size) {
+    max_size = min_size;
+  }
+  uint32_t classes = 1;
+  for (uint32_t lo = min_size; lo * 2 <= max_size; lo *= 2) {
+    ++classes;
+  }
+  ZipfSampler class_sampler(classes, profile_.size_zipf_s);
+  Rng build_rng(profile_.seed);
+  sizes_.reserve(profile_.unique_keys);
+  for (uint64_t i = 0; i < profile_.unique_keys; ++i) {
+    const uint64_t cls = class_sampler.Sample(build_rng);
+    const uint32_t lo = min_size << cls;
+    const uint32_t hi = std::min<uint32_t>(lo * 2 - 1, max_size);
+    sizes_.push_back(lo + static_cast<uint32_t>(build_rng.Below(hi - lo + 1)));
+  }
+  key_sampler_ = std::make_unique<ZipfSampler>(std::max<uint64_t>(1, profile_.unique_keys),
+                                               profile_.key_zipf_s);
+  Rewind();
+}
+
+void KvZipfWorkload::Rewind() {
+  rng_ = Rng(profile_.seed ^ 0xcafeull);
+  emitted_ = 0;
+}
+
+bool KvZipfWorkload::Next(KvTraceRecord* record) {
+  if (emitted_ >= profile_.total_ops) {
+    return false;
+  }
+  const uint64_t rank = key_sampler_->Sample(rng_);
+  // Spread key ranks over the 64-bit namespace so shard routing sees hashed
+  // keys, while keeping rank recoverable determinism (same rank -> same key).
+  record->key = MixHash64(rank ^ (profile_.seed * 0x9e3779b97f4a7c15ull));
+  const double draw = rng_.NextDouble();
+  if (draw < profile_.get_fraction) {
+    record->op = KvOp::kGet;
+    record->size = 0;
+  } else if (draw < profile_.get_fraction + profile_.delete_fraction) {
+    record->op = KvOp::kDelete;
+    record->size = 0;
+  } else {
+    record->op = KvOp::kSet;
+    record->size = sizes_[rank];
+  }
+  ++emitted_;
+  return true;
+}
+
 }  // namespace flashtier

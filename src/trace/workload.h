@@ -26,6 +26,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/trace/kv_trace.h"
 #include "src/trace/trace.h"
 #include "src/util/rng.h"
 
@@ -125,6 +126,49 @@ class SyntheticWorkload final : public TraceSource {
   bool run_is_write_ = false;
   std::vector<Lbn> recent_writes_;  // ring buffer for read-after-write locality
   size_t recent_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Tiny-object KV workloads (DESIGN.md §5k)
+// ---------------------------------------------------------------------------
+
+// The kv-zipf workload models a memcached/CDN-style object tier: Zipf key
+// popularity (the YCSB default skew), a fixed get/set/delete mix, and
+// per-key object sizes drawn once from a power-of-two size-class
+// distribution skewed toward small objects (Nemo's tiny-object regime).
+struct KvWorkloadProfile {
+  std::string name = "kv-zipf";
+  uint64_t unique_keys = 20'000;
+  uint64_t total_ops = 200'000;
+  double key_zipf_s = 0.99;     // key-popularity skew
+  double get_fraction = 0.60;   // remainder is sets, minus deletes
+  double delete_fraction = 0.05;
+  uint32_t min_size = kKvMinObjectBytes;  // object-size bounds, bytes
+  uint32_t max_size = 1024;
+  double size_zipf_s = 1.10;    // skew over power-of-two size classes
+  uint64_t seed = 42;
+};
+
+// Deterministic synthetic KV trace stream. Each key's size is fixed at
+// construction (the same object re-set keeps its size); sets of a key always
+// carry that size.
+class KvZipfWorkload final : public KvTraceSource {
+ public:
+  explicit KvZipfWorkload(const KvWorkloadProfile& profile);
+
+  bool Next(KvTraceRecord* record) override;
+  void Rewind() override;
+  uint64_t size_hint() const override { return profile_.total_ops; }
+
+  const KvWorkloadProfile& profile() const { return profile_; }
+  uint32_t SizeOfKeyIndex(uint64_t index) const { return sizes_[index]; }
+
+ private:
+  KvWorkloadProfile profile_;
+  Rng rng_;
+  std::vector<uint32_t> sizes_;  // per-key object size, indexed by key rank
+  std::unique_ptr<ZipfSampler> key_sampler_;
+  uint64_t emitted_ = 0;
 };
 
 }  // namespace flashtier

@@ -13,6 +13,8 @@
 #include "src/check/invariant_checker.h"
 #include "src/core/flashtier.h"
 #include "src/core/replay.h"
+#include "src/kv/kv_cache.h"
+#include "src/kv/kv_replay.h"
 #include "src/trace/workload.h"
 
 namespace flashtier {
@@ -425,6 +427,142 @@ TEST(ParallelReplayTest, ShardedAggregatesSumAcrossShards) {
   }
   EXPECT_EQ(m.read_hits, shard_hits);
   EXPECT_GT(system.DeviceMemoryUsage(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tiny-object KV replay (DESIGN.md §5k): the same determinism contract as the
+// block engine — records route to shards by key hash, each shard replays as a
+// sequential computation, metrics merge in shard order — so the full KvStats
+// block must be bit-identical at any thread count and queue depth.
+// ---------------------------------------------------------------------------
+
+KvWorkloadProfile KvTestProfile() {
+  KvWorkloadProfile p;
+  p.unique_keys = 3'000;
+  p.total_ops = 20'000;
+  p.seed = 17;
+  return p;
+}
+
+// Fresh cache + fresh workload per run: only the host-side replay shape
+// (threads, queue depth) varies.
+KvReplayMetrics RunKv(uint32_t shards, uint32_t threads, uint32_t queue_depth,
+                      bool dirty_sets = false,
+                      const PolicyConfig& admission = PolicyConfig{}) {
+  KvCacheConfig config;
+  config.shards = shards;
+  config.admission = admission;
+  config.ssc.capacity_pages = 2048;
+  KvCache cache(config);
+  KvZipfWorkload workload(KvTestProfile());
+  KvReplayEngine::Options opts;
+  opts.threads = threads;
+  opts.queue_depth = queue_depth;
+  opts.dirty_sets = dirty_sets;
+  KvReplayEngine engine(&cache, opts);
+  return engine.Run(workload);
+}
+
+void ExpectKvVirtualTimeEqual(const KvReplayMetrics& a, const KvReplayMetrics& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.failed_requests, b.failed_requests);
+  EXPECT_EQ(a.elapsed_us, b.elapsed_us);
+  EXPECT_TRUE(a.response_us == b.response_us);
+  // The whole KvStats block at once: any drifting counter fails here.
+  EXPECT_TRUE(a.kv == b.kv);
+  EXPECT_EQ(a.kv.hits, b.kv.hits);  // and the headline fields readably
+  EXPECT_EQ(a.kv.slab_fills, b.kv.slab_fills);
+  EXPECT_EQ(a.kv.compactions, b.kv.compactions);
+  EXPECT_EQ(a.policy.admits, b.policy.admits);
+  EXPECT_EQ(a.policy.rejects, b.policy.rejects);
+  EXPECT_EQ(a.persist.records_logged, b.persist.records_logged);
+  EXPECT_EQ(a.persist.checkpoints, b.persist.checkpoints);
+  EXPECT_EQ(a.flash.page_writes, b.flash.page_writes);
+  EXPECT_EQ(a.flash.erases, b.flash.erases);
+  EXPECT_EQ(a.flash_writes_per_set, b.flash_writes_per_set);
+  EXPECT_EQ(a.Iops(), b.Iops());
+  EXPECT_EQ(a.MeanResponseUs(), b.MeanResponseUs());
+}
+
+TEST(KvParallelReplayTest, KvStatsIdenticalAcrossThreadCounts) {
+  const KvReplayMetrics t1 = RunKv(8, 1, 1);
+  const KvReplayMetrics t4 = RunKv(8, 4, 1);
+  const KvReplayMetrics t8 = RunKv(8, 8, 1);
+  ASSERT_GT(t1.requests, 0u);
+  ASSERT_GT(t1.kv.hits, 0u);
+  ASSERT_GT(t1.kv.slab_fills, 0u);
+  EXPECT_EQ(t1.threads, 1u);
+  EXPECT_EQ(t4.threads, 4u);
+  EXPECT_EQ(t8.threads, 8u);
+  EXPECT_EQ(t8.shards, 8u);
+  ExpectKvVirtualTimeEqual(t1, t4);
+  ExpectKvVirtualTimeEqual(t1, t8);
+}
+
+TEST(KvParallelReplayTest, KvOpenLoopIdenticalAcrossThreadCounts) {
+  const KvReplayMetrics t1 = RunKv(8, 1, /*queue_depth=*/8);
+  const KvReplayMetrics t4 = RunKv(8, 4, /*queue_depth=*/8);
+  const KvReplayMetrics t8 = RunKv(8, 8, /*queue_depth=*/8);
+  ASSERT_GT(t1.requests, 0u);
+  EXPECT_EQ(t1.queue_depth, 8u);
+  ExpectKvVirtualTimeEqual(t1, t4);
+  ExpectKvVirtualTimeEqual(t1, t8);
+  for (const double p : {50.0, 95.0, 99.0, 99.9}) {
+    EXPECT_EQ(t1.response_us.PercentileUs(p), t4.response_us.PercentileUs(p));
+    EXPECT_EQ(t1.response_us.PercentileUs(p), t8.response_us.PercentileUs(p));
+  }
+}
+
+// Queue depth changes request *timing*, never request *semantics*: the cache
+// executes the same per-shard operation sequence either way, so the KvStats
+// block matches the depth-1 run exactly while overlap shrinks elapsed time.
+TEST(KvParallelReplayTest, KvOpenLoopPreservesStateAndShrinksElapsed) {
+  const KvReplayMetrics d1 = RunKv(8, 4, 1);
+  const KvReplayMetrics d8 = RunKv(8, 4, /*queue_depth=*/8);
+  EXPECT_EQ(d1.requests, d8.requests);
+  EXPECT_TRUE(d1.kv == d8.kv);
+  EXPECT_EQ(d1.flash.page_writes, d8.flash.page_writes);
+  EXPECT_EQ(d1.flash_writes_per_set, d8.flash_writes_per_set);
+  ASSERT_GT(d1.elapsed_us, 0u);
+  EXPECT_LT(d8.elapsed_us, d1.elapsed_us);
+}
+
+// Dirty (write-back) sets exercise the persistence log on every Set; the
+// log/checkpoint counters must stay a pure function of the shard streams.
+TEST(KvParallelReplayTest, KvDirtySetsDeterministicAcrossThreadCounts) {
+  const KvReplayMetrics t1 = RunKv(8, 1, 1, /*dirty_sets=*/true);
+  const KvReplayMetrics t8 = RunKv(8, 8, 1, /*dirty_sets=*/true);
+  ASSERT_GT(t1.persist.records_logged, 0u);
+  ExpectKvVirtualTimeEqual(t1, t8);
+}
+
+// Selective admission composes per object under threaded replay: the policy
+// counters are deterministic and the threaded cache passes the structural KV
+// audit (key-map bijection, slab occupancy, shard partition).
+TEST(KvParallelReplayTest, KvAdmissionDeterministicAndAuditClean) {
+  PolicyConfig admission;
+  admission.kind = AdmissionKind::kGhostLru;
+  admission.ghost_entries = 2048;
+  KvCacheConfig config;
+  config.shards = 4;
+  config.admission = admission;
+  config.ssc.capacity_pages = 2048;
+  KvCache cache(config);
+  KvZipfWorkload workload(KvTestProfile());
+  KvReplayEngine::Options opts;
+  opts.threads = 4;
+  KvReplayEngine engine(&cache, opts);
+  const KvReplayMetrics threaded = engine.Run(workload);
+  ASSERT_GT(threaded.kv.rejected_sets, 0u);  // the policy must actually bite
+
+  const KvReplayMetrics solo = RunKv(4, 1, 1, false, admission);
+  EXPECT_TRUE(threaded.kv == solo.kv);
+  EXPECT_EQ(threaded.policy.rejects, solo.policy.rejects);
+  EXPECT_EQ(threaded.policy.ghost_hits, solo.policy.ghost_hits);
+
+  const CheckReport report = InvariantChecker::CheckKv(cache);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks_run, 0u);
 }
 
 }  // namespace

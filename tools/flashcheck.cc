@@ -24,6 +24,7 @@
 
 #include "src/check/crash_explorer.h"
 #include "src/check/disk_guard.h"
+#include "src/check/kv_check.h"
 #include "src/check/soak.h"
 #include "src/policy/policy_factory.h"
 #include "src/util/args.h"
@@ -41,6 +42,12 @@ constexpr const char* kUsage =
     "                         inside recovery (incl. double crashes)\n"
     "  --soak=N               crash-storm soak: N seeded crash->recover->\n"
     "                         verify->resume cycles on one long-lived device\n"
+    "  --kv                   check the tiny-object KV layer (DESIGN.md §5k):\n"
+    "                         explore every commit point a mixed object\n"
+    "                         workload crosses (or --soak=N cycles on one\n"
+    "                         long-lived KvCache), verify object G1-G3 via a\n"
+    "                         shadow sweep + InvariantChecker::CheckKv;\n"
+    "                         composes with --faults, --shards, --admission\n"
     "  --disk-faults          DiskGuard: drive cache managers over a faulty\n"
     "                         disk tier (latent sectors, transient failures,\n"
     "                         slow IO) with retry/backoff, parked writebacks,\n"
@@ -71,6 +78,9 @@ constexpr const char* kUsage =
     "soak options:\n"
     "  --soak=N --soak-ops=400 --recovery-crash-period=3\n"
     "  --recovery-budget-us=2400000 --stats-json=FILE\n"
+    "\n"
+    "kv options (--kv mode):\n"
+    "  --kv-keys=512 --slab-pages=1 --no-packing\n"
     "\n"
     "disk-fault options (--disk-faults mode):\n"
     "  --disk-seed=1 --disk-read-fail=0.01 --disk-write-fail=0.02\n"
@@ -122,7 +132,9 @@ int main(int argc, char** argv) {
       "disk-slow",     "disk-retry-attempts",
       "disk-deadline-us", "scrub-period",
       "scrub-budget",  "write-through",
-      "no-crashes",
+      "no-crashes",    "kv",
+      "kv-keys",       "slab-pages",
+      "no-packing",
   });
   if (!unknown.empty()) {
     for (const std::string& name : unknown) {
@@ -205,6 +217,50 @@ int main(int argc, char** argv) {
 
   const std::string stats_json = args.GetString("stats-json", "");
   const int64_t soak_cycles = args.GetInt("soak", 0);
+  if (args.GetBool("kv", false)) {
+    flashtier::KvCheckOptions kopts;
+    kopts.capacity_pages = options.capacity_pages;
+    kopts.shards = options.shards;
+    kopts.packing = !args.GetBool("no-packing", false);
+    kopts.slab_pages = static_cast<uint32_t>(args.GetPositiveInt("slab-pages", 1));
+    kopts.mode = options.mode;
+    kopts.group_commit_ops = options.group_commit_ops;
+    kopts.checkpoint_interval_writes = options.checkpoint_interval_writes;
+    kopts.log_region_pages = options.log_region_pages;
+    kopts.checkpoint_segment_entries = options.checkpoint_segment_entries;
+    kopts.ops = options.ops;
+    kopts.keys = static_cast<uint64_t>(args.GetPositiveInt("kv-keys", 512));
+    kopts.seed = options.seed;
+    kopts.max_points = options.max_points;
+    kopts.stride = options.stride;
+    kopts.explore_recovery_points = options.explore_recovery_points;
+    if (soak_cycles > 0) {
+      kopts.soak_cycles = static_cast<uint32_t>(soak_cycles);
+    }
+    kopts.soak_ops = static_cast<uint32_t>(args.GetPositiveInt("soak-ops", 400));
+    kopts.recovery_crash_period =
+        static_cast<uint32_t>(args.GetInt("recovery-crash-period", 3));
+    kopts.recovery_budget_us =
+        static_cast<uint64_t>(args.GetInt("recovery-budget-us", 2'400'000));
+    kopts.faults = options.faults;
+    kopts.admission = options.admission;
+    kopts.run_invariant_checker = options.run_invariant_checker;
+    kopts.verbose = options.verbose;
+    if (!args.ok()) {
+      std::fprintf(stderr, "flashcheck: %s\n", args.error().c_str());
+      return 2;
+    }
+
+    flashtier::KvCheckHarness harness(kopts);
+    const flashtier::KvCheckReport report = harness.Run();
+    std::printf("flashcheck: %s\n", report.ToString().c_str());
+    if (!stats_json.empty() && !WriteStatsJson(stats_json, report.ToJson())) {
+      std::fprintf(stderr, "flashcheck: cannot write --stats-json file '%s'\n",
+                   stats_json.c_str());
+      return 2;
+    }
+    return report.ok() ? 0 : 1;
+  }
   if (args.GetBool("disk-faults", false)) {
     flashtier::DiskGuardOptions dopts;
     if (soak_cycles > 0) {

@@ -3,9 +3,13 @@
 //   trace_gen --workload=homes --scale=0.1 --out=/tmp/homes.fttr
 //   trace_gen --range-gb=100 --unique=500000 --ops=2000000 --writes=0.8
 //             --out=/tmp/custom.fttr
+//   trace_gen --workload=kv-zipf --keys=20000 --ops=200000 --zipf=0.99
+//             --get-frac=0.6 --del-frac=0.05 --min-size=64 --max-size=1024
+//             --out=/tmp/kv.ftkv
 //
-// Files are replayable with trace_stat, the TraceFileReader API, or any
-// bench via the library.
+// Block traces are replayable with trace_stat, the TraceFileReader API, or
+// any bench; kv-zipf writes a KV trace ("FTKV") for the KvCache layer.
+// Unknown flags or invalid values exit 2 with usage.
 
 #include <cinttypes>
 #include <cstdio>
@@ -16,22 +20,86 @@
 
 using namespace flashtier;
 
+namespace {
+
+constexpr char kUsage[] =
+    "usage: trace_gen --out=FILE [--workload=homes|mail|usr|proj --scale=F]\n"
+    "                 | [--range-gb=N --unique=N --ops=N --writes=F --seed=N]\n"
+    "                 | [--workload=kv-zipf --keys=N --ops=N --zipf=F --get-frac=F\n"
+    "                    --del-frac=F --min-size=N --max-size=N --size-zipf=F --seed=N]\n";
+
+int UsageError(const char* detail) {
+  std::fprintf(stderr, "error: %s\n%s", detail, kUsage);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   if (!args.ok()) {
-    std::fprintf(stderr, "error: %s\n", args.error().c_str());
-    return 1;
+    return UsageError(args.error().c_str());
+  }
+  const auto unknown = args.UnknownFlags({"out", "workload", "scale", "range-gb", "unique", "ops",
+                                          "writes", "seed", "keys", "zipf", "get-frac", "del-frac",
+                                          "min-size", "max-size", "size-zipf"});
+  if (!unknown.empty()) {
+    std::string detail = "unknown flag: --" + unknown.front();
+    return UsageError(detail.c_str());
   }
   const std::string out = args.GetString("out", "");
   if (out.empty()) {
-    std::fprintf(stderr,
-                 "usage: trace_gen --out=FILE [--workload=homes|mail|usr|proj "
-                 "--scale=F] | [--range-gb=N --unique=N --ops=N --writes=F --seed=N]\n");
-    return 1;
+    return UsageError("--out is required");
+  }
+
+  const std::string name = args.GetString("workload", "");
+  if (name == "kv-zipf") {
+    KvWorkloadProfile profile;
+    profile.unique_keys = static_cast<uint64_t>(args.GetPositiveInt("keys", 20'000));
+    profile.total_ops = static_cast<uint64_t>(args.GetPositiveInt("ops", 200'000));
+    profile.key_zipf_s = args.GetPositiveDouble("zipf", 0.99);
+    profile.get_fraction = args.GetDouble("get-frac", 0.60);
+    profile.delete_fraction = args.GetDouble("del-frac", 0.05);
+    profile.min_size = static_cast<uint32_t>(args.GetPositiveInt("min-size", kKvMinObjectBytes));
+    profile.max_size = static_cast<uint32_t>(args.GetPositiveInt("max-size", 1024));
+    profile.size_zipf_s = args.GetPositiveDouble("size-zipf", 1.10);
+    profile.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    if (!args.ok()) {
+      return UsageError(args.error().c_str());
+    }
+    if (profile.get_fraction < 0.0 || profile.delete_fraction < 0.0 ||
+        profile.get_fraction + profile.delete_fraction > 1.0) {
+      return UsageError("--get-frac/--del-frac must be >= 0 and sum to <= 1");
+    }
+    if (profile.min_size < kKvMinObjectBytes || profile.max_size > kKvMaxObjectBytes ||
+        profile.min_size > profile.max_size) {
+      return UsageError("--min-size/--max-size must satisfy 64 <= min <= max <= 4096");
+    }
+
+    KvZipfWorkload workload(profile);
+    KvTraceFileWriter writer;
+    if (!IsOk(writer.Open(out))) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    KvTraceRecord r;
+    while (workload.Next(&r)) {
+      if (!IsOk(writer.Append(r))) {
+        std::fprintf(stderr, "write failed\n");
+        return 1;
+      }
+    }
+    if (!IsOk(writer.Close())) {
+      std::fprintf(stderr, "close failed\n");
+      return 1;
+    }
+    std::printf("wrote %" PRIu64 " kv records (%" PRIu64 " keys, zipf %.2f, %u-%u B) to %s\n",
+                profile.total_ops, profile.unique_keys, profile.key_zipf_s, profile.min_size,
+                profile.max_size, out.c_str());
+    return 0;
   }
 
   WorkloadProfile profile;
-  const std::string name = args.GetString("workload", "");
   const double scale = args.GetPositiveDouble("scale", 0.1);
   if (name == "homes") {
     profile = HomesProfile(scale);
@@ -49,20 +117,15 @@ int main(int argc, char** argv) {
     profile.full_unique_blocks = profile.unique_blocks;
     profile.total_ops = static_cast<uint64_t>(args.GetPositiveInt("ops", 1'000'000));
     profile.write_fraction = args.GetDouble("writes", 0.5);
-    profile.seed = args.GetInt("seed", 42);
+    profile.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   } else {
-    std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
-    return 1;
+    std::string detail = "unknown workload: " + name;
+    return UsageError(detail.c_str());
   }
   if (!args.ok()) {
     // A zero or negative size would make the generator spin forever or emit
     // an empty trace; fail loudly instead (INVALID_ARGUMENT).
-    std::fprintf(stderr,
-                 "error: %s\n"
-                 "usage: trace_gen --out=FILE [--workload=homes|mail|usr|proj "
-                 "--scale=F] | [--range-gb=N --unique=N --ops=N --writes=F --seed=N]\n",
-                 args.error().c_str());
-    return 1;
+    return UsageError(args.error().c_str());
   }
 
   SyntheticWorkload workload(profile);

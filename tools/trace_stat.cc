@@ -1,7 +1,10 @@
 // trace_stat — print Table 3-style characteristics and the Figure 1 region
-// density distribution of a binary trace file.
+// density distribution of a binary trace file. KV traces ("FTKV", from
+// trace_gen --workload=kv-zipf) instead get the object-level view: op mix,
+// object-size histogram, and per-key re-reference intervals.
 //
 //   trace_stat --in=/tmp/homes.fttr [--top=0.25]
+//   trace_stat --in=/tmp/kv.ftkv
 
 #include <cinttypes>
 #include <cstdio>
@@ -11,6 +14,58 @@
 #include "src/util/args.h"
 
 using namespace flashtier;
+
+namespace {
+
+// Prints a power-of-two histogram with per-bucket and cumulative shares.
+void PrintPow2Histogram(const std::vector<uint64_t>& hist, uint64_t total) {
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < hist.size(); ++b) {
+    if (hist[b] == 0) {
+      continue;
+    }
+    cumulative += hist[b];
+    std::printf("  [2^%-2zu, 2^%-2zu): %10" PRIu64 "  (%5.1f%%, cum %5.1f%%)\n", b, b + 1, hist[b],
+                100.0 * static_cast<double>(hist[b]) / static_cast<double>(total),
+                100.0 * static_cast<double>(cumulative) / static_cast<double>(total));
+  }
+}
+
+int PrintKvTrace(const std::string& in) {
+  KvTraceFileReader reader;
+  const Status open = reader.Open(in);
+  if (!IsOk(open)) {
+    std::fprintf(stderr, "cannot read %s: %s\n", in.c_str(), StatusName(open).data());
+    return 1;
+  }
+  KvTraceStats stats;
+  stats.Consume(reader);
+
+  std::printf("kv trace       : %s\n", in.c_str());
+  std::printf("records        : %" PRIu64 "  (%" PRIu64 " gets, %" PRIu64 " sets, %" PRIu64
+              " deletes)\n",
+              stats.total_ops(), stats.gets(), stats.sets(), stats.deletes());
+  std::printf("unique keys    : %" PRIu64 "\n", stats.unique_keys());
+  std::printf("set bytes      : %" PRIu64 "  (mean object %.0f B, %.1f objects/4 KB slab)\n",
+              stats.set_bytes(), stats.MeanObjectBytes(), stats.ObjectsPerSlabAtMeanSize());
+
+  std::printf("\nobject sizes (over %" PRIu64 " sets, bytes):\n", stats.sets());
+  PrintPow2Histogram(stats.SizeHistogram(), stats.sets());
+
+  std::printf("\nper-key re-reference intervals (%" PRIu64
+              " re-references, records since prior access):\n",
+              stats.reref_accesses());
+  PrintPow2Histogram(stats.RerefIntervalHistogram(), stats.reref_accesses());
+  const uint64_t single = stats.SingleAccessKeys();
+  std::printf("never re-referenced: %" PRIu64 " of %" PRIu64 " keys (%.1f%%)\n", single,
+              stats.unique_keys(),
+              stats.unique_keys() == 0 ? 0.0
+                                       : 100.0 * static_cast<double>(single) /
+                                             static_cast<double>(stats.unique_keys()));
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
@@ -24,6 +79,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const double top = args.GetDouble("top", 0.25);
+
+  if (ClassifyTraceFile(in) == TraceFileKind::kKv) {
+    return PrintKvTrace(in);
+  }
 
   TraceFileReader reader;
   const Status open = reader.Open(in);
