@@ -174,16 +174,23 @@ struct RunResult {
 inline RunResult ReplayWorkload(const WorkloadProfile& profile, const SystemConfig& config,
                                 FlashTierSystem* system, double warmup_fraction = 0.15,
                                 bool verify = false, uint32_t threads = 1,
-                                uint32_t queue_depth = 1) {
+                                uint32_t queue_depth = 1,
+                                ReplayEngine::VerificationState* verify_state = nullptr) {
   SyntheticWorkload workload(profile);
   ReplayEngine::Options opts;
   opts.warmup_fraction = warmup_fraction;
   opts.verify = verify;
   opts.threads = threads;
   opts.queue_depth = queue_depth;
+  // Multi-pass benches hand the oracle from pass to pass: a fresh oracle
+  // would flag reads of data an earlier pass wrote into the cache.
+  opts.resume_verification = verify_state;
   ReplayEngine engine(system, opts);
   RunResult result;
   result.metrics = engine.Run(workload);
+  if (verify && verify_state != nullptr) {
+    *verify_state = engine.ExportVerificationState();
+  }
   result.iops = result.metrics.Iops();
   result.mean_response_us = result.metrics.MeanResponseUs();
   if (result.metrics.stale_reads != 0) {
@@ -335,19 +342,25 @@ inline void AppendStatsJson(const std::string& path, const char* bench,
     std::fprintf(f,
                  ",\"ftl\":{\"gc_invocations\":%llu,\"program_retries\":%llu,"
                  "\"retired_blocks\":%llu,\"dropped_clean_pages\":%llu,"
-                 "\"lost_dirty_pages\":%llu}",
+                 "\"lost_dirty_pages\":%llu,\"wl_migrations\":%llu,"
+                 "\"patrol_repairs\":%llu,\"retired_capacity_pct\":%.2f}",
                  (unsigned long long)ftl.gc_invocations,
                  (unsigned long long)ftl.program_retries,
                  (unsigned long long)ftl.retired_blocks,
                  (unsigned long long)ftl.dropped_clean_pages,
-                 (unsigned long long)ftl.lost_dirty_pages);
+                 (unsigned long long)ftl.lost_dirty_pages,
+                 (unsigned long long)ftl.wl_migrations,
+                 (unsigned long long)ftl.patrol_repairs, system->RetiredCapacityPct());
     std::fprintf(f,
                  ",\"faults\":{\"program_failures\":%llu,\"erase_failures\":%llu,"
-                 "\"read_corruptions\":%llu,\"crc_mismatches\":%llu}",
+                 "\"read_corruptions\":%llu,\"crc_mismatches\":%llu,"
+                 "\"read_disturbs\":%llu,\"retention_failures\":%llu}",
                  (unsigned long long)faults.program_failures,
                  (unsigned long long)faults.erase_failures,
                  (unsigned long long)faults.read_corruptions,
-                 (unsigned long long)faults.crc_mismatches);
+                 (unsigned long long)faults.crc_mismatches,
+                 (unsigned long long)faults.read_disturbs,
+                 (unsigned long long)faults.retention_failures);
   }
   AppendKvJson(f, KvStats{}, 0.0);  // block systems carry no KV layer
   std::fprintf(f, "}\n");

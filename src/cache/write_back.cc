@@ -4,15 +4,31 @@
 
 namespace flashtier {
 
+namespace {
+uint64_t DirtyBudget(uint64_t capacity_pages, double dirty_threshold) {
+  return std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(capacity_pages) * dirty_threshold));
+}
+}  // namespace
+
 WriteBackManager::WriteBackManager(SscDevice* ssc, DiskModel* disk, const Options& options)
     : ssc_(ssc),
       disk_(disk),
       policy_(options.admission),
       options_(options),
-      threshold_blocks_(std::max<uint64_t>(
-          1, static_cast<uint64_t>(static_cast<double>(ssc->capacity_pages()) *
-                                   options.dirty_threshold))),
-      dirty_table_(threshold_blocks_ + threshold_blocks_ / 4) {}
+      // Table sized for the nominal budget; the live budget shrinks with the
+      // device (ThresholdBlocks), which only ever needs less room.
+      dirty_table_(DirtyBudget(ssc->capacity_pages(), options.dirty_threshold) +
+                   DirtyBudget(ssc->capacity_pages(), options.dirty_threshold) / 4) {}
+
+uint64_t WriteBackManager::ThresholdBlocks() const {
+  return DirtyBudget(ssc_->usable_capacity_pages(), options_.dirty_threshold);
+}
+
+bool WriteBackManager::BelowCapacityFloor() const {
+  return ssc_->usable_capacity_pages() * 100 <
+         ssc_->capacity_pages() * options_.min_usable_capacity_pct;
+}
 
 void WriteBackManager::DropLostDirty(Lbn lbn) {
   ++stats_.read_errors;
@@ -141,6 +157,17 @@ Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
   if (Status rs = RedriveParked(/*force=*/false); !IsOk(rs)) {
     return rs;
   }
+  // Graceful capacity degradation, final rung: below the usable-capacity
+  // floor the device has aged out. Checked every write (not probed): the
+  // retirement that tripped it is permanent.
+  if (BelowCapacityFloor()) {
+    if (!degraded_) {
+      degraded_ = true;
+      degraded_write_count_ = 0;
+      ++stats_.degraded_entries;
+    }
+    return PassThroughWrite(lbn, token);
+  }
   if (degraded_ && (++degraded_write_count_ % kDegradedProbeInterval) != 0) {
     return PassThroughWrite(lbn, token);
   }
@@ -257,7 +284,7 @@ Status WriteBackManager::Write(Lbn lbn, uint64_t token) {
   // In disk-degraded mode the cache *absorbs* dirty data instead of cleaning
   // (every writeback would fail and re-park); the space/backpressure paths
   // above bound how much it can absorb.
-  if (!disk_degraded_ && dirty_table_.size() > threshold_blocks_) {
+  if (!disk_degraded_ && dirty_table_.size() > ThresholdBlocks()) {
     return CleanToThreshold();
   }
   return Status::kOk;
@@ -368,7 +395,8 @@ Status WriteBackManager::PassThroughWrite(Lbn lbn, uint64_t token) {
 Status WriteBackManager::CleanToThreshold() {
   // Hysteresis: clean down to 90% of the threshold so every write does not
   // pay a cleaning pass.
-  const uint64_t target = threshold_blocks_ - threshold_blocks_ / 10;
+  const uint64_t threshold = ThresholdBlocks();
+  const uint64_t target = threshold - threshold / 10;
   while (dirty_table_.size() > target) {
     const Lbn victim = dirty_table_.LruBlockWhere(
         [this](Lbn b) { return parked_lbns_.count(b) == 0; });

@@ -59,6 +59,12 @@ class WriteBackManager final : public CacheManager {
     // (write-around) and rejected read fills serve from disk uncached.
     // nullptr admits everything with zero policy calls.
     AdmissionPolicy* admission = nullptr;
+    // Graceful capacity degradation floor (DESIGN.md §5l): once block
+    // retirement shrinks the SSC's usable capacity below this percentage of
+    // nominal, the manager stops caching writes and stays in pass-through —
+    // the device has aged out, and honesty beats thrashing a sliver of
+    // flash. Retirement is permanent, so this trip never clears.
+    uint32_t min_usable_capacity_pct = 10;
   };
 
   WriteBackManager(SscDevice* ssc, DiskModel* disk, const Options& options);
@@ -137,6 +143,12 @@ class WriteBackManager final : public CacheManager {
     uint32_t attempt;  // parks so far for this run
   };
 
+  // Dirty-block budget, recomputed against the SSC's *usable* capacity so an
+  // aging cache cleans proportionally earlier instead of dead-ending.
+  uint64_t ThresholdBlocks() const;
+  // True once retirement has shrunk the SSC below the configured floor.
+  bool BelowCapacityFloor() const;
+
   // Cleans LRU dirty blocks until the table is below the threshold.
   Status CleanToThreshold();
   // Cleans the contiguous dirty run containing `seed` (one disk write). A
@@ -157,7 +169,6 @@ class WriteBackManager final : public CacheManager {
   DiskModel* disk_;
   AdmissionPolicy* policy_;
   Options options_;
-  uint64_t threshold_blocks_;
   DirtyTable dirty_table_;
   std::unordered_map<Lbn, uint64_t> checksums_;  // only if verify_checksums
   uint64_t checksum_failures_ = 0;

@@ -160,8 +160,12 @@ CheckReport InvariantChecker::CheckSscOnly(const SscDevice& ssc) {
     }
     cls[b] = c;
   };
+  uint64_t retired_count = 0;
   ssc.allocator_->ForEachFree([&](PhysBlock b) { classify(b, kFree); });
-  ssc.allocator_->ForEachRetired([&](PhysBlock b) { classify(b, kRetired); });
+  ssc.allocator_->ForEachRetired([&](PhysBlock b) {
+    ++retired_count;
+    classify(b, kRetired);
+  });
   for (PhysBlock b : ssc.log_blocks_) {
     classify(b, kLog);
   }
@@ -184,6 +188,24 @@ CheckReport InvariantChecker::CheckSscOnly(const SscDevice& ssc) {
                    Fmt("free block %llu has write pointer %u", (unsigned long long)b,
                        device.write_pointer(b)));
       }
+      // Erase resets the read-disturb counter and free pages refuse reads, so
+      // a free block carrying disturb exposure means an erase skipped the
+      // reset (the block would enter service pre-aged).
+      ++report.checks_run;
+      if (device.ReadsSinceErase(b) != 0) {
+        report.Add("endurance.disturb-reset",
+                   Fmt("free block %llu carries %llu reads since erase", (unsigned long long)b,
+                       (unsigned long long)device.ReadsSinceErase(b)));
+      }
+    }
+    // A bad block must be retired: handing it back out would lose every
+    // write sent to it. (flashcheck --break-retry deliberately violates this
+    // to prove the audit notices.)
+    ++report.checks_run;
+    if (device.BlockBad(b) && cls[b] != kRetired) {
+      report.Add("endurance.bad-not-retired",
+                 Fmt("bad block %llu is classified %s, not retired", (unsigned long long)b,
+                     kClassName[cls[b]]));
     }
     // Retirement is for failed media only: a healthy block parked in the
     // retired set would silently shrink the cache.
@@ -381,6 +403,20 @@ CheckReport InvariantChecker::CheckSscOnly(const SscDevice& ssc) {
                Fmt("dirty_pages %llu != %llu page-mapped + %llu block-mapped",
                    (unsigned long long)ssc.dirty_pages_, (unsigned long long)page_dirty,
                    (unsigned long long)block_dirty));
+  }
+
+  // Capacity accounting is exact (clamped at zero): usable capacity is the
+  // nominal capacity minus one full block of pages per retirement.
+  const uint64_t retired_pages = retired_count * ppb;
+  const uint64_t expect_usable = retired_pages >= ssc.config_.capacity_pages
+                                     ? 0
+                                     : ssc.config_.capacity_pages - retired_pages;
+  ++report.checks_run;
+  if (ssc.usable_capacity_pages() != expect_usable) {
+    report.Add("endurance.capacity-accounting",
+               Fmt("usable_capacity_pages %llu != expected %llu (%llu retired blocks)",
+                   (unsigned long long)ssc.usable_capacity_pages(),
+                   (unsigned long long)expect_usable, (unsigned long long)retired_count));
   }
 
   return report;

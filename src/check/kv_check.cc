@@ -795,11 +795,13 @@ std::string KvCheckReport::ToJson() const {
       ",\"recoveries\":%llu,\"recovered_slots\":%llu,\"restaged_dirty_slots\":%llu,"
       "\"dropped_clean_slots\":%llu,\"lost_objects\":%llu},"
       "\"faults\":{\"program_failures\":%llu,\"erase_failures\":%llu,"
-      "\"read_corruptions\":%llu}}",
+      "\"read_corruptions\":%llu,\"read_disturbs\":%llu,"
+      "\"retention_failures\":%llu}}",
       (unsigned long long)kv.recoveries, (unsigned long long)kv.recovered_slots,
       (unsigned long long)kv.restaged_dirty_slots, (unsigned long long)kv.dropped_clean_slots,
       (unsigned long long)kv.lost_objects, (unsigned long long)faults.program_failures,
-      (unsigned long long)faults.erase_failures, (unsigned long long)faults.read_corruptions);
+      (unsigned long long)faults.erase_failures, (unsigned long long)faults.read_corruptions,
+      (unsigned long long)faults.read_disturbs, (unsigned long long)faults.retention_failures);
   return out;
 }
 

@@ -58,7 +58,7 @@ std::string SoakReport::ToJson(uint64_t budget_us) const {
       "\"checkpoint_load_us\":%llu,\"log_replay_us\":%llu,\"rebuild_us\":%llu,"
       "\"last_recovery_us\":%llu},"
       "\"faults\":{\"program_failures\":%llu,\"erase_failures\":%llu,"
-      "\"read_corruptions\":%llu}}",
+      "\"read_corruptions\":%llu,\"read_disturbs\":%llu,\"retention_failures\":%llu}}",
       cycles_run, (unsigned long long)ops_executed, (unsigned long long)mid_workload_crashes,
       (unsigned long long)quiescent_crashes, (unsigned long long)recovery_crashes,
       (unsigned long long)violation_count, (unsigned long long)budget_us,
@@ -72,7 +72,8 @@ std::string SoakReport::ToJson(uint64_t budget_us) const {
       (unsigned long long)persist.checkpoint_load_us, (unsigned long long)persist.log_replay_us,
       (unsigned long long)persist.rebuild_us, (unsigned long long)persist.last_recovery_us,
       (unsigned long long)faults.program_failures, (unsigned long long)faults.erase_failures,
-      (unsigned long long)faults.read_corruptions);
+      (unsigned long long)faults.read_corruptions, (unsigned long long)faults.read_disturbs,
+      (unsigned long long)faults.retention_failures);
   return std::string(buffer);
 }
 

@@ -67,6 +67,13 @@ FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
                               : EvictionPolicy::kSeUtil;
       ssc_config.mode = config.consistency;
       ssc_config.timings = config.timings;
+      if (config.flash_faults.enabled) {
+        ssc_config.fault_plan = config.flash_faults;
+        ssc_config.fault_plan.seed = config.flash_faults.seed + 0x9e3779b97f4a7c15ull * i;
+      }
+      ssc_config.wear_level_interval_writes = config.wear_level_interval_writes;
+      ssc_config.wear_level_max_diff = config.wear_level_max_diff;
+      ssc_config.patrol_interval_writes = config.patrol_interval_writes;
       if (config.log_region_pages > 0) {
         // A total region budget, split like capacity; every shard gets at
         // least one page so a tiny budget still leaves each log usable.
@@ -82,6 +89,7 @@ FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
         WriteBackManager::Options opts;
         opts.dirty_threshold = config.dirty_threshold;
         opts.admission = shard->policy.get();
+        opts.min_usable_capacity_pct = config.min_usable_capacity_pct;
         auto manager =
             std::make_unique<WriteBackManager>(shard->ssc.get(), shard->disk.get(), opts);
         shard->wb_manager = manager.get();
@@ -93,6 +101,12 @@ FlashTierSystem::FlashTierSystem(const SystemConfig& config) : config_(config) {
     } else {
       SsdFtl::Options ssd_opts;
       ssd_opts.timings = config.timings;
+      if (config.flash_faults.enabled) {
+        ssd_opts.fault_plan = config.flash_faults;
+        ssd_opts.fault_plan.seed = config.flash_faults.seed + 0x9e3779b97f4a7c15ull * i;
+      }
+      ssd_opts.wear_level_interval_writes = config.wear_level_interval_writes;
+      ssd_opts.wear_level_max_diff = config.wear_level_max_diff;
       shard->ssd = std::make_unique<SsdFtl>(
           pages + NativeCacheManager::kMetadataRegionPages, &shard->clock, ssd_opts);
       NativeCacheManager::Options opts;
@@ -180,6 +194,22 @@ PersistStats FlashTierSystem::AggregatePersistStats() const {
     }
   }
   return out;
+}
+
+double FlashTierSystem::RetiredCapacityPct() const {
+  uint64_t retired = 0;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->ssc != nullptr) {
+      retired += shard->ssc->retired_block_count();
+      total += shard->ssc->device().geometry().TotalBlocks();
+    } else if (shard->ssd != nullptr) {
+      retired += shard->ssd->ftl_stats().retired_blocks;
+      total += shard->ssd->device().geometry().TotalBlocks();
+    }
+  }
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(retired) / static_cast<double>(total);
 }
 
 size_t FlashTierSystem::DeviceMemoryUsage() const {

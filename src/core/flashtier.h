@@ -75,6 +75,19 @@ struct SystemConfig {
   // every counter stays bit-identical across replay thread counts.
   DiskFaultPlan disk_faults;
   RetryPolicy disk_retry;
+  // Flash-medium fault injection (DESIGN.md §5d/§5l). Like disk_faults, each
+  // shard's device gets an independent stream derived from flash_faults.seed
+  // by a golden-ratio stride, keeping every counter bit-identical across
+  // replay thread counts. Disabled by default.
+  FaultPlan flash_faults;
+  // Endurance defenses (DESIGN.md §5l), forwarded to every shard's device:
+  // static wear leveling and patrol scrubbing on a deterministic host-write
+  // cadence (0 = off), and the usable-capacity floor (percent of nominal)
+  // below which write-back managers degrade to pass-through.
+  uint32_t wear_level_interval_writes = 0;
+  uint32_t wear_level_max_diff = 8;
+  uint32_t patrol_interval_writes = 0;
+  uint32_t min_usable_capacity_pct = 10;
 };
 
 // Owns every component of one simulated storage system.
@@ -137,6 +150,10 @@ class FlashTierSystem {
   // Zero-initialized when no shard has an SSC.
   PersistStats AggregatePersistStats() const;
   PolicyStats AggregatePolicyStats() const;
+
+  // Share of the flash medium (all shards) permanently lost to block
+  // retirement, in percent.
+  double RetiredCapacityPct() const;
 
   // Total device-resident mapping memory (Table 4 "Device" column).
   size_t DeviceMemoryUsage() const;

@@ -16,6 +16,38 @@ uint64_t LookupExpectedToken(const std::unordered_map<Lbn, uint64_t>& oracle, Lb
   return it != oracle.end() ? it->second : DiskModel::OriginalToken(lbn);
 }
 
+// While verifying under fault injection, a dirty page can be destroyed
+// *inside* the cache — wear faults striking during GC copies or write-back
+// cleaning — without any host request observing an error: the manager
+// records the loss and later reads legitimately fall back to the older disk
+// copy. Feed the SSC's data-loss hook into the shard's lost set so those
+// reads are exempt from stale-checking, exactly like host-visible read
+// errors; the next successful write re-arms the oracle. The hook fires
+// synchronously inside the manager call, on this shard's replay thread.
+class ScopedLossHook {
+ public:
+  ScopedLossHook(SscDevice* ssc, std::unordered_map<Lbn, uint64_t>* oracle,
+                 std::unordered_set<Lbn>* lost)
+      : ssc_(ssc) {
+    if (ssc_ != nullptr) {
+      ssc_->set_data_loss_hook([oracle, lost](Lbn lbn) {
+        oracle->erase(lbn);
+        lost->insert(lbn);
+      });
+    }
+  }
+  ~ScopedLossHook() {
+    if (ssc_ != nullptr) {
+      ssc_->set_data_loss_hook(nullptr);
+    }
+  }
+  ScopedLossHook(const ScopedLossHook&) = delete;
+  ScopedLossHook& operator=(const ScopedLossHook&) = delete;
+
+ private:
+  SscDevice* ssc_;
+};
+
 // Span bookkeeping for one open-loop run (queue depth > 1): the measured
 // phase lasts from its first request's submit to its last completion, since
 // overlapping per-request latencies must not be summed.
@@ -112,6 +144,8 @@ void ReplayEngine::RunSingle(TraceSource& source) {
   const bool open_loop = options_.queue_depth > 1;
   OpenLoopQueue loop(&system_->clock(), options_.queue_depth);
   OpenLoopSpan span;
+  ScopedLossHook loss_hook(options_.verify ? system_->shard(0).ssc.get() : nullptr, &oracle_,
+                           &lost_blocks_);
   uint64_t seq = 0;
   TraceRecord record;
   while (seq < total && source.Next(&record)) {
@@ -132,6 +166,8 @@ void ReplayEngine::ReplayShard(FlashTierSystem::Shard& shard,
   const bool open_loop = options_.queue_depth > 1;
   OpenLoopQueue loop(&shard.clock, options_.queue_depth);
   OpenLoopSpan span;
+  ScopedLossHook loss_hook(options_.verify ? shard.ssc.get() : nullptr, &run->oracle,
+                           &run->lost_blocks);
   for (const ShardRequest& req : queue) {
     ProcessRecord(req.record, req.seq, /*measured=*/req.seq >= warmup, options_.verify,
                   *shard.manager, shard.clock, open_loop ? &loop : nullptr,
@@ -162,6 +198,16 @@ void ReplayEngine::RunSharded(TraceSource& source) {
   }
 
   std::vector<ShardRun> runs(shard_count);
+  if (options_.verify) {
+    // Distribute a resumed oracle to the shards that own each LBN (routing
+    // is a pure function of the LBN, so this reverses the final merge).
+    for (const auto& [lbn, token] : oracle_) {
+      runs[system_->ShardOf(lbn)].oracle.emplace(lbn, token);
+    }
+    for (const Lbn lbn : lost_blocks_) {
+      runs[system_->ShardOf(lbn)].lost_blocks.insert(lbn);
+    }
+  }
   const uint32_t threads =
       std::min<uint32_t>(std::max<uint32_t>(1, options_.threads), shard_count);
   if (threads <= 1) {
@@ -218,6 +264,16 @@ void ReplayEngine::RunSharded(TraceSource& source) {
     metrics_.elapsed_us = std::max(metrics_.elapsed_us, m.elapsed_us);
     metrics_.response_us.Merge(m.response_us);
   }
+  if (options_.verify) {
+    // Fold the per-shard oracles back together (disjoint by routing) so the
+    // state can seed a later pass over the same long-lived system.
+    oracle_.clear();
+    lost_blocks_.clear();
+    for (const ShardRun& run : runs) {
+      oracle_.insert(run.oracle.begin(), run.oracle.end());
+      lost_blocks_.insert(run.lost_blocks.begin(), run.lost_blocks.end());
+    }
+  }
 }
 
 void ReplayEngine::RecordWorkerError(const std::string& what) {
@@ -229,6 +285,10 @@ void ReplayEngine::RecordWorkerError(const std::string& what) {
 
 ReplayMetrics ReplayEngine::Run(TraceSource& source) {
   metrics_ = ReplayMetrics{};
+  if (options_.verify && options_.resume_verification != nullptr) {
+    oracle_ = options_.resume_verification->oracle;
+    lost_blocks_ = options_.resume_verification->lost_blocks;
+  }
   // wall_clock_us is the one deliberately real-time metric: it measures the
   // parallel engine itself, not the simulated system.
   // flashlint: allow(wall-clock): host-side throughput measurement

@@ -86,9 +86,21 @@ struct ReplayMetrics {
 
 class ReplayEngine {
  public:
+  // The oracle's view of a long-lived system, exportable between engine runs
+  // so multi-pass benches (the aging sweep replays one trace for a device
+  // lifetime) can keep verifying: a fresh oracle would flag every read of
+  // data the *previous* pass legitimately wrote into the cache as stale.
+  struct VerificationState {
+    std::unordered_map<Lbn, uint64_t> oracle;
+    std::unordered_set<Lbn> lost_blocks;
+  };
+
   struct Options {
     double warmup_fraction = 0.0;  // fraction of the trace replayed unmeasured
     bool verify = false;           // oracle-check every read
+    // Seed the oracle from a previous pass over the same system (multi-pass
+    // replay). Must outlive Run(). nullptr starts from an empty oracle.
+    const VerificationState* resume_verification = nullptr;
     uint64_t max_requests = 0;     // 0 = whole trace
     // Worker threads for sharded systems; clamped to the shard count. The
     // virtual-time metrics do not depend on this value.
@@ -108,6 +120,11 @@ class ReplayEngine {
   ReplayMetrics Run(TraceSource& source);
 
   const ReplayMetrics& metrics() const { return metrics_; }
+
+  // Snapshot of the oracle after Run(), for seeding the next pass's engine
+  // via Options::resume_verification (sharded runs are merged — per-LBN
+  // routing keeps the shards' maps disjoint).
+  VerificationState ExportVerificationState() const { return {oracle_, lost_blocks_}; }
 
  private:
   struct ShardRequest {

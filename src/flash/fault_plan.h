@@ -35,6 +35,19 @@ struct FaultPlan {
   // goes bad, modeling wear-out. 0 means unlimited endurance.
   uint32_t wear_out_erases = 0;
 
+  // Read disturb: once a block has absorbed more than this many reads since
+  // its last erase, every further read of the block draws
+  // `read_disturb_prob` to corrupt the page it touches (sticky until erase,
+  // like every corruption). 0 disables the mechanism.
+  uint32_t read_disturb_limit = 0;
+  double read_disturb_prob = 0.0;
+
+  // Retention decay: a page that has sat programmed for longer than this
+  // much virtual time draws `retention_fail_prob` on each read to have
+  // rotted in place. 0 disables the mechanism.
+  uint64_t retention_age_us = 0;
+  double retention_fail_prob = 0.0;
+
   // Scripted triggers: 1-based ordinals of program/erase/read operations
   // (counted per kind across the whole device, including GC copies) that
   // fail deterministically regardless of the probabilities above.
@@ -48,6 +61,8 @@ struct FaultStats {
   uint64_t erase_failures = 0;     // erase ops rejected; block is bad after
   uint64_t read_corruptions = 0;   // reads that returned kCorrupt
   uint64_t crc_mismatches = 0;     // stored-data CRC checks that failed
+  uint64_t read_disturbs = 0;      // corruption onsets caused by read disturb
+  uint64_t retention_failures = 0; // corruption onsets caused by retention decay
 
   // Accumulates another device's counters (per-shard aggregation).
   void Merge(const FaultStats& o) {
@@ -55,6 +70,8 @@ struct FaultStats {
     erase_failures += o.erase_failures;
     read_corruptions += o.read_corruptions;
     crc_mismatches += o.crc_mismatches;
+    read_disturbs += o.read_disturbs;
+    retention_failures += o.retention_failures;
   }
 };
 

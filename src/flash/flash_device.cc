@@ -37,6 +37,26 @@ void FlashDevice::ChargeCopy(uint32_t src_plane, uint32_t dst_plane) {
   pipeline_.ExecuteCopy(src_plane, dst_plane);
 }
 
+void FlashDevice::MaybeWearFaultOnRead(Block& b, Page& page) {
+  ++b.reads_since_erase;
+  if (page.corrupt) {
+    return;
+  }
+  if (faults_.read_disturb_limit > 0 && faults_.read_disturb_prob > 0.0 &&
+      b.reads_since_erase > faults_.read_disturb_limit &&
+      fault_rng_.Chance(faults_.read_disturb_prob)) {
+    page.corrupt = true;
+    ++fault_stats_.read_disturbs;
+    return;
+  }
+  if (faults_.retention_age_us > 0 && faults_.retention_fail_prob > 0.0 &&
+      clock_->now_us() - page.programmed_at_us >= faults_.retention_age_us &&
+      fault_rng_.Chance(faults_.retention_fail_prob)) {
+    page.corrupt = true;
+    ++fault_stats_.retention_failures;
+  }
+}
+
 Status FlashDevice::ProgramPage(PhysBlock block, const OobRecord& oob, uint64_t token,
                                 const uint8_t* data, Ppn* ppn) {
   if (block >= blocks_.size()) {
@@ -69,6 +89,7 @@ Status FlashDevice::ProgramPage(PhysBlock block, const OobRecord& oob, uint64_t 
   page.oob = oob;
   page.oob.seq = next_seq_++;
   page.token = token;
+  page.programmed_at_us = clock_->now_us();
   if (store_data_ && data != nullptr) {
     data_[p].assign(data, data + geometry_.page_size);
     page.crc = Crc32c(data, geometry_.page_size);
@@ -97,6 +118,7 @@ Status FlashDevice::ReadPage(Ppn ppn, uint64_t* token, OobRecord* oob_out, uint8
           InjectFault(faults_.read_corrupt_at, read_ops_, faults_.read_corrupt_prob)) {
         page.corrupt = true;
       }
+      MaybeWearFaultOnRead(blocks_[geometry_.BlockOf(ppn)], page);
     }
     if (page.corrupt) {
       ++fault_stats_.read_corruptions;
@@ -211,12 +233,14 @@ Status FlashDevice::EraseBlock(PhysBlock block) {
     page.crc = 0;
     page.has_crc = false;
     page.corrupt = false;
+    page.programmed_at_us = 0;
     if (store_data_) {
       data_.erase(first + i);
     }
   }
   b.next_page = 0;
   b.valid_pages = 0;
+  b.reads_since_erase = 0;
   b.program_failed = false;
   ++b.erase_count;
   ++stats_.erases;
@@ -246,6 +270,7 @@ Status FlashDevice::CopyPage(Ppn src, PhysBlock dst_block, Ppn* dst_ppn) {
           InjectFault(faults_.read_corrupt_at, read_ops_, faults_.read_corrupt_prob)) {
         src_page.corrupt = true;
       }
+      MaybeWearFaultOnRead(blocks_[geometry_.BlockOf(src)], src_page);
     }
     if (src_page.corrupt) {
       ++fault_stats_.read_corruptions;
@@ -274,6 +299,9 @@ Status FlashDevice::CopyPage(Ppn src, PhysBlock dst_block, Ppn* dst_ppn) {
   dst_page.token = src_page.token;
   dst_page.crc = src_page.crc;
   dst_page.has_crc = src_page.has_crc;
+  // The copy is a fresh program: its retention clock restarts, which is what
+  // makes patrol-scrub relocation an actual repair.
+  dst_page.programmed_at_us = clock_->now_us();
   if (store_data_) {
     const auto it = data_.find(src);
     if (it != data_.end()) {
@@ -291,6 +319,26 @@ Status FlashDevice::CopyPage(Ppn src, PhysBlock dst_block, Ppn* dst_ppn) {
     *dst_ppn = dst;
   }
   return Status::kOk;
+}
+
+uint64_t FlashDevice::OldestProgramAgeUs(PhysBlock block) const {
+  if (block >= blocks_.size()) {
+    return 0;
+  }
+  const Block& b = blocks_[block];
+  const Ppn first = geometry_.FirstPpnOf(block);
+  uint64_t oldest = UINT64_MAX;
+  for (uint32_t i = 0; i < b.next_page; ++i) {
+    const Page& page = pages_[first + i];
+    if (page.state != PageState::kFree) {
+      oldest = std::min(oldest, page.programmed_at_us);
+    }
+  }
+  if (oldest == UINT64_MAX) {
+    return 0;
+  }
+  const uint64_t now = clock_->now_us();
+  return now > oldest ? now - oldest : 0;
 }
 
 uint32_t FlashDevice::MaxWearDiff() const {

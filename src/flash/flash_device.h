@@ -92,6 +92,13 @@ class FlashDevice {
   // The block aborted a program and cannot accept further programs until it
   // is successfully erased. Its already-programmed pages remain readable.
   bool BlockProgramFailed(PhysBlock block) const { return blocks_[block].program_failed; }
+  // Reads the block has absorbed since its last erase (the read-disturb
+  // exposure). Counted only while fault injection is enabled and unpaused so
+  // observer sweeps cannot age the medium.
+  uint64_t ReadsSinceErase(PhysBlock block) const { return blocks_[block].reads_since_erase; }
+  // Virtual age of the oldest programmed page in `block` (retention
+  // exposure); 0 when the block holds no programmed pages.
+  uint64_t OldestProgramAgeUs(PhysBlock block) const;
 
   // Programs the next free page of `block`; returns the assigned PPN through
   // `*ppn`. Fails with kNoSpace if the block is full. The token identifies
@@ -164,14 +171,21 @@ class FlashDevice {
     uint32_t crc = 0;        // CRC32-C of the stored payload (store_data only)
     bool has_crc = false;
     bool corrupt = false;    // injected uncorrectable read error; sticky until erase
+    uint64_t programmed_at_us = 0;  // virtual program time, for retention decay
   };
   struct Block {
     uint32_t next_page = 0;
     uint32_t valid_pages = 0;
     uint32_t erase_count = 0;
+    uint64_t reads_since_erase = 0;  // read-disturb exposure; reset by erase
     bool bad = false;             // erase failed or wore out; permanently retired
     bool program_failed = false;  // program aborted; unprogrammable until erase
   };
+
+  // Draws the read-disturb and retention-decay faults for a read of `page`
+  // in `block` (fault plan enabled and unpaused only); may set
+  // `page.corrupt`.
+  void MaybeWearFaultOnRead(Block& b, Page& page);
 
   // Returns true when the plan injects a fault for the op with this 1-based
   // ordinal: either a scripted trigger or a probability draw.

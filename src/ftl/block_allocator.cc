@@ -1,11 +1,11 @@
 #include "src/ftl/block_allocator.h"
 
-#include <algorithm>
-
 namespace flashtier {
 
 BlockAllocator::BlockAllocator(const FlashDevice& device, uint32_t reserved_blocks)
-    : device_(device), free_(device.geometry().planes) {
+    : device_(device),
+      free_(device.geometry().planes),
+      retired_bitmap_(device.geometry().TotalBlocks(), 0) {
   const FlashGeometry& g = device.geometry();
   for (PhysBlock b = reserved_blocks; b < g.TotalBlocks(); ++b) {
     free_[g.PlaneOf(b)].push_back(b);
@@ -76,6 +76,11 @@ PhysBlock BlockAllocator::AllocateMostWorn() {
 }
 
 void BlockAllocator::Free(PhysBlock block) {
+  // Retirement is permanent: a retired block can never re-enter the free
+  // pool, even through a confused caller.
+  if (IsRetired(block)) {
+    return;
+  }
   free_[device_.geometry().PlaneOf(block)].push_back(block);
   ++free_total_;
 }
@@ -83,11 +88,8 @@ void BlockAllocator::Free(PhysBlock block) {
 void BlockAllocator::Retire(PhysBlock block) {
   if (!IsRetired(block)) {
     retired_.push_back(block);
+    retired_bitmap_[block] = 1;
   }
-}
-
-bool BlockAllocator::IsRetired(PhysBlock block) const {
-  return std::find(retired_.begin(), retired_.end(), block) != retired_.end();
 }
 
 uint32_t BlockAllocator::FullestPlane() const {
@@ -106,6 +108,7 @@ size_t BlockAllocator::MemoryUsage() const {
     bytes += list.capacity() * sizeof(PhysBlock);
   }
   bytes += retired_.capacity() * sizeof(PhysBlock);
+  bytes += retired_bitmap_.capacity() * sizeof(uint8_t);
   return bytes;
 }
 

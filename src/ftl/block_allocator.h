@@ -45,10 +45,15 @@ class BlockAllocator {
   // free-space accounting; the invariant checker audits them as their own
   // partition class.
   void Retire(PhysBlock block);
-  bool IsRetired(PhysBlock block) const;
+  // O(1) bitmap lookup: retirement is hot in the erase paths of an aged
+  // device (every EraseOrRetire consults it).
+  bool IsRetired(PhysBlock block) const {
+    return block < retired_bitmap_.size() && retired_bitmap_[block] != 0;
+  }
   uint32_t RetiredCount() const { return static_cast<uint32_t>(retired_.size()); }
 
-  // Calls fn(block) for every retired block (unspecified order).
+  // Calls fn(block) for every retired block (retirement order — stable, so
+  // deterministic consumers may iterate it directly).
   template <typename Fn>
   void ForEachRetired(Fn&& fn) const {
     for (PhysBlock b : retired_) {
@@ -83,7 +88,8 @@ class BlockAllocator {
 
   const FlashDevice& device_;
   std::vector<std::vector<PhysBlock>> free_;  // per plane
-  std::vector<PhysBlock> retired_;            // bad blocks, permanently out
+  std::vector<PhysBlock> retired_;            // bad blocks, in retirement order
+  std::vector<uint8_t> retired_bitmap_;       // O(1) IsRetired, indexed by block
   uint32_t free_total_ = 0;
 };
 

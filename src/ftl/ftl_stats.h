@@ -27,6 +27,10 @@ struct FtlStats {
   uint64_t dropped_clean_pages = 0;  // clean pages lost to media errors (just misses)
   uint64_t lost_dirty_pages = 0;     // dirty pages lost to media errors (data loss)
 
+  // Endurance defenses (DESIGN.md §5l).
+  uint64_t wl_migrations = 0;    // static wear-leveling block relocations
+  uint64_t patrol_repairs = 0;   // disturb/retention-risky blocks refreshed by patrol
+
   // Accumulates another FTL's counters (per-shard aggregation).
   void Merge(const FtlStats& o) {
     host_reads += o.host_reads;
@@ -42,6 +46,8 @@ struct FtlStats {
     retired_blocks += o.retired_blocks;
     dropped_clean_pages += o.dropped_clean_pages;
     lost_dirty_pages += o.lost_dirty_pages;
+    wl_migrations += o.wl_migrations;
+    patrol_repairs += o.patrol_repairs;
   }
 
   // Write amplification = (all flash page programs, including GC copies and

@@ -45,7 +45,10 @@ SscDevice::SscDevice(const SscConfig& config, SimClock* clock)
 
 uint32_t SscDevice::LogBlockLimit() const {
   const uint32_t ppb = device_->geometry().pages_per_block;
-  const uint64_t capacity_blocks = (config_.capacity_pages + ppb - 1) / ppb;
+  // Sized against the *usable* capacity: as retirement shrinks the medium,
+  // the log reserve tightens proportionally instead of squeezing data blocks
+  // until EnsureFreeBlocks dead-ends.
+  const uint64_t capacity_blocks = (usable_capacity_pages() + ppb - 1) / ppb;
   const double fraction = config_.policy == EvictionPolicy::kSeUtil
                               ? config_.log_fraction
                               : config_.max_log_fraction;
@@ -188,8 +191,22 @@ Status SscDevice::WriteInternal(Lbn lbn, uint64_t token, bool dirty) {
   const bool sync = dirty || had_old || config_.mode == ConsistencyMode::kFull;
   persist_->Append(rec, sync);
   persist_->MaybeCheckpoint([this] { return SnapshotForCheckpoint(); });
+  MaybeEnduranceMaintenance();
   MaybeAudit();
   return Status::kOk;
+}
+
+void SscDevice::MaybeEnduranceMaintenance() {
+  if (config_.wear_level_interval_writes > 0 &&
+      ++writes_since_wear_level_ >= config_.wear_level_interval_writes) {
+    writes_since_wear_level_ = 0;
+    WearLevelOnce(config_.wear_level_max_diff);
+  }
+  if (config_.patrol_interval_writes > 0 &&
+      ++writes_since_patrol_ >= config_.patrol_interval_writes) {
+    writes_since_patrol_ = 0;
+    PatrolFlash(config_.patrol_blocks_per_pass);
+  }
 }
 
 void SscDevice::MaybeAudit() {
@@ -387,7 +404,49 @@ bool SscDevice::WearLevelOnce(uint32_t max_wear_diff) {
     allocator_->Free(destination);  // spread is not where we can fix it
     return false;
   }
-  return IsOk(RelocateDataBlock(coldest, phys_to_logical_[coldest], destination));
+  if (!IsOk(RelocateDataBlock(coldest, phys_to_logical_[coldest], destination))) {
+    return false;
+  }
+  ++ftl_stats_.wl_migrations;
+  return true;
+}
+
+uint32_t SscDevice::PatrolFlash(uint32_t max_blocks) {
+  const FaultPlan& plan = device_->fault_plan();
+  if (plan.read_disturb_limit == 0 && plan.retention_age_us == 0) {
+    return 0;
+  }
+  const uint32_t total = device_->geometry().TotalBlocks();
+  uint32_t refreshed = 0;
+  for (uint32_t step = 0; step < total && refreshed < max_blocks; ++step) {
+    const PhysBlock b = patrol_cursor_;
+    patrol_cursor_ = (patrol_cursor_ + 1) % total;
+    const uint64_t logical = phys_to_logical_[b];
+    if (logical == kInvalidLbn) {
+      continue;
+    }
+    // "Risky" = exposure at 75% of the device's fault threshold. The patrol
+    // is not paused against fault injection: its own relocation reads can
+    // trigger the very disturb faults it is racing, which is the race the
+    // aging harness measures (corruption-vs-repair).
+    const bool disturb_risk =
+        plan.read_disturb_limit > 0 &&
+        device_->ReadsSinceErase(b) * 4 >= static_cast<uint64_t>(plan.read_disturb_limit) * 3;
+    const bool retention_risk = plan.retention_age_us > 0 &&
+                                device_->OldestProgramAgeUs(b) * 4 >= plan.retention_age_us * 3;
+    if (!disturb_risk && !retention_risk) {
+      continue;
+    }
+    const PhysBlock destination = allocator_->Allocate();
+    if (destination == kInvalidBlock) {
+      break;  // no slack this pass; the cursor resumes here next time
+    }
+    if (IsOk(RelocateDataBlock(b, logical, destination))) {
+      ++refreshed;
+      ++ftl_stats_.patrol_repairs;
+    }
+  }
+  return refreshed;
 }
 
 Status SscDevice::RelocateDataBlock(PhysBlock phys, uint64_t logical, PhysBlock destination) {
@@ -1096,6 +1155,9 @@ void SscDevice::ResetRamState() {
   birth_counter_ = 0;
   cached_pages_ = 0;
   dirty_pages_ = 0;
+  writes_since_wear_level_ = 0;
+  writes_since_patrol_ = 0;
+  patrol_cursor_ = 0;
 }
 
 Status SscDevice::Recover() {

@@ -90,6 +90,19 @@ struct SscConfig {
   // the free pool instead of retiring them, so the invariant checker's
   // partition audit provably detects the broken bad-block management.
   bool break_retirement_for_testing = false;
+
+  // ---- Endurance defenses (DESIGN.md §5l) ----
+
+  // Run one static wear-leveling pass every N host writes (0 = only when a
+  // caller invokes WearLevelOnce explicitly). Deterministic: the cadence is
+  // counted in host writes, not time, so it is identical across thread counts.
+  uint32_t wear_level_interval_writes = 0;
+  // Wear spread that triggers a static wear-leveling migration.
+  uint32_t wear_level_max_diff = 8;
+  // Run one patrol-scrub pass (PatrolFlash) every N host writes (0 = off).
+  uint32_t patrol_interval_writes = 0;
+  // Blocks a single patrol pass may refresh before yielding.
+  uint32_t patrol_blocks_per_pass = 4;
 };
 
 class SscDevice {
@@ -145,6 +158,16 @@ class SscDevice {
   // block re-enters the allocation pool. Returns true if it moved anything.
   bool WearLevelOnce(uint32_t max_wear_diff);
 
+  // One patrol-scrub pass (the flash-tier mirror of the disk tier's
+  // ScrubDisk): walks data blocks from a persistent cursor and relocates
+  // those whose read-disturb or retention exposure is within 25% of the
+  // device's fault thresholds, before the exposure turns into corruption.
+  // The relocation is a fresh program (retention clock restarts) followed by
+  // an erase of the source (disturb counter resets). Refreshes at most
+  // `max_blocks` blocks; returns how many it refreshed. No-op when the fault
+  // plan models neither wear effect.
+  uint32_t PatrolFlash(uint32_t max_blocks);
+
   // Streams every (lbn, dirty) cached page to `fn(lbn, dirty)`, charging the
   // same device-memory cost as an exists scan of the spanned address range
   // would. Used by write-back cache-manager recovery.
@@ -184,6 +207,25 @@ class SscDevice {
   uint64_t capacity_pages() const { return config_.capacity_pages; }
   uint64_t cached_pages() const { return cached_pages_; }
   uint64_t dirty_pages() const { return dirty_pages_; }
+
+  // Graceful capacity degradation: the nominal capacity minus every page of
+  // every retired block. Cache managers size their dirty thresholds against
+  // this, so an aging device serves a proportionally smaller cache instead of
+  // dead-ending in kNoSpace.
+  uint64_t usable_capacity_pages() const {
+    const uint64_t retired_pages = static_cast<uint64_t>(allocator_->RetiredCount()) *
+                                   device_->geometry().pages_per_block;
+    return retired_pages >= config_.capacity_pages ? 0 : config_.capacity_pages - retired_pages;
+  }
+  // Blocks permanently retired (allocator ground truth, survives recovery).
+  uint64_t retired_block_count() const { return allocator_->RetiredCount(); }
+  // Share of the medium permanently lost to retirement, in percent.
+  double retired_capacity_pct() const {
+    const uint64_t total = device_->geometry().TotalBlocks();
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(allocator_->RetiredCount()) /
+                            static_cast<double>(total);
+  }
 
   const FtlStats& ftl_stats() const { return ftl_stats_; }
   const FlashStats& flash_stats() const { return device_->stats(); }
@@ -331,6 +373,11 @@ class SscDevice {
                         uint64_t dirty_bits);
   void RetireLogPage(Lbn lbn);
 
+  // Write-cadence driver for the endurance defenses: runs a wear-leveling
+  // pass and/or a patrol pass when their intervals elapse. Called from the
+  // end of WriteInternal (a quiescent point — the host op has committed).
+  void MaybeEnduranceMaintenance();
+
   void ChargeExistsScan();
   std::vector<CheckpointEntry> SnapshotForCheckpoint() const;
   void LogInsertBlockEntry(uint64_t logical, const BlockEntry& e);
@@ -361,6 +408,11 @@ class SscDevice {
   uint64_t cached_pages_ = 0;
   uint64_t dirty_pages_ = 0;
   FtlStats ftl_stats_;
+
+  // Endurance-maintenance cadence state (device RAM; resets across a crash).
+  uint32_t writes_since_wear_level_ = 0;
+  uint32_t writes_since_patrol_ = 0;
+  PhysBlock patrol_cursor_ = 0;
 
   AuditHook audit_hook_;
   DataLossHook data_loss_hook_;

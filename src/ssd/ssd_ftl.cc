@@ -12,7 +12,10 @@ constexpr uint64_t kOobBytesPerPage = 64;
 }  // namespace
 
 SsdFtl::SsdFtl(uint64_t logical_pages, SimClock* clock, const Options& options)
-    : logical_pages_(logical_pages), clock_(clock) {
+    : logical_pages_(logical_pages),
+      wear_level_interval_writes_(options.wear_level_interval_writes),
+      wear_level_max_diff_(options.wear_level_max_diff),
+      clock_(clock) {
   const FlashGeometry& probe = options.geometry;
   logical_blocks_ = (logical_pages + probe.pages_per_block - 1) / probe.pages_per_block;
   max_log_blocks_ = std::max<uint32_t>(
@@ -81,7 +84,80 @@ Status SsdFtl::Write(uint64_t lpn, uint64_t token) {
   InvalidateOldVersion(lpn);
   log_map_[lpn] = ppn;
   log_contents_[active].push_back(lpn);
+  if (wear_level_interval_writes_ > 0 &&
+      ++writes_since_wear_level_ >= wear_level_interval_writes_) {
+    writes_since_wear_level_ = 0;
+    WearLevelOnce(wear_level_max_diff_);
+  }
   return Status::kOk;
+}
+
+bool SsdFtl::WearLevelOnce(uint32_t max_wear_diff) {
+  if (device_->MaxWearDiff() <= max_wear_diff) {
+    return false;
+  }
+  // Coldest data block: the one sitting on the least-erased flash. Data
+  // blocks are the cold end of a FAST FTL — log blocks churn constantly.
+  PhysBlock coldest = kInvalidBlock;
+  LogicalBlock coldest_logical = 0;
+  uint32_t coldest_wear = ~0u;
+  for (LogicalBlock l = 0; l < logical_blocks_; ++l) {
+    const PhysBlock* b = block_map_.Find(l);
+    if (b != nullptr && device_->erase_count(*b) < coldest_wear) {
+      coldest_wear = device_->erase_count(*b);
+      coldest = *b;
+      coldest_logical = l;
+    }
+  }
+  if (coldest == kInvalidBlock) {
+    return false;
+  }
+  const PhysBlock destination = allocator_->AllocateMostWorn();
+  if (destination == kInvalidBlock) {
+    return false;
+  }
+  if (device_->erase_count(destination) <= coldest_wear + max_wear_diff) {
+    allocator_->Free(destination);  // spread is not where we can fix it
+    return false;
+  }
+  // Copy valid pages at their offsets (skips keep the block-mapped layout);
+  // pages that cannot move are dropped with the vacated source.
+  const FlashGeometry& g = device_->geometry();
+  bool any_copied = false;
+  bool dst_failed = false;
+  for (uint32_t off = 0; off < g.pages_per_block; ++off) {
+    const Ppn src = g.FirstPpnOf(coldest) + off;
+    if (device_->page_state(src) != PageState::kValid) {
+      if (!dst_failed) {
+        AssertOk(device_->SkipPage(destination));
+      }
+      continue;
+    }
+    const Status cs =
+        dst_failed ? Status::kIoError : device_->CopyPage(src, destination, nullptr);
+    if (cs == Status::kCorrupt || cs == Status::kIoError) {
+      dst_failed = dst_failed || cs == Status::kIoError;
+      AssertOk(device_->MarkInvalid(src));
+      ++ftl_stats_.dropped_clean_pages;
+      if (cs == Status::kCorrupt) {
+        AssertOk(device_->SkipPage(destination));
+      }
+      continue;
+    }
+    AssertOk(cs);
+    any_copied = true;
+  }
+  block_map_.Erase(coldest_logical);
+  if (any_copied) {
+    block_map_.Insert(coldest_logical, destination);
+    ++ftl_stats_.wl_migrations;
+  } else if (device_->BlockErased(destination) && !device_->BlockProgramFailed(destination)) {
+    allocator_->Free(destination);
+  } else {
+    EraseOrRetire(destination);
+  }
+  EraseOrRetire(coldest);
+  return any_copied;
 }
 
 Status SsdFtl::Trim(uint64_t lpn) {

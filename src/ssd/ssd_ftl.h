@@ -48,6 +48,11 @@ class SsdFtl {
     FlashTimings timings;
     FlashGeometry geometry;  // plane layout template; plane size scales to fit
     FaultPlan fault_plan;    // medium fault injection; disabled by default
+    // Static wear leveling: run one pass every N host writes (0 = only on
+    // explicit WearLevelOnce calls); migrate when the wear spread exceeds
+    // the max-diff. Same write-counted, deterministic cadence as the SSC.
+    uint32_t wear_level_interval_writes = 0;
+    uint32_t wear_level_max_diff = 8;
   };
 
   SsdFtl(uint64_t logical_pages, SimClock* clock, const Options& options);
@@ -64,6 +69,12 @@ class SsdFtl {
 
   // Discards logical page `lpn` (SATA trim).
   Status Trim(uint64_t lpn);
+
+  // One static wear-leveling pass: if the wear spread exceeds `max_wear_diff`,
+  // moves the coldest data block (fewest erases on its flash) onto the
+  // most-worn free block so the young block re-enters the allocation pool.
+  // Returns true if it moved anything.
+  bool WearLevelOnce(uint32_t max_wear_diff);
 
   const FtlStats& ftl_stats() const { return ftl_stats_; }
   const FlashStats& flash_stats() const { return device_->stats(); }
@@ -103,6 +114,9 @@ class SsdFtl {
   uint64_t logical_pages_;
   uint64_t logical_blocks_;
   uint32_t max_log_blocks_;
+  uint32_t wear_level_interval_writes_;
+  uint32_t wear_level_max_diff_;
+  uint32_t writes_since_wear_level_ = 0;
   SimClock* clock_;
   std::unique_ptr<FlashDevice> device_;
   std::unique_ptr<BlockAllocator> allocator_;

@@ -415,6 +415,166 @@ TEST(ManagerFaultTest, DegradedManagerReengagesWhenTheCacheHeals) {
   EXPECT_GT(manager.stats().read_hits, 0u);
 }
 
+// ---- Endurance: read disturb, retention decay, and the §5l defenses ----
+
+TEST(FlashFaultTest, ReadDisturbCorruptsPastTheExposureLimit) {
+  SimClock clock;
+  FaultPlan plan = EnabledPlan();
+  plan.read_disturb_limit = 4;
+  plan.read_disturb_prob = 1.0;
+  FlashDevice dev(TinyGeometry(), FlashTimings{}, &clock, false, plan);
+  Ppn ppn = 0;
+  ASSERT_EQ(dev.ProgramPage(0, OobRecord{}, 6, nullptr, &ppn), Status::kOk);
+  uint64_t token = 0;
+  // Reads inside the exposure budget are harmless.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kOk);
+  }
+  EXPECT_EQ(dev.ReadsSinceErase(0), 4u);
+  // The read past the limit draws (certainty here) and corrupts the page.
+  EXPECT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kCorrupt);
+  EXPECT_EQ(dev.fault_stats().read_disturbs, 1u);
+  // Erase clears the exposure counter; a reprogrammed page reads clean.
+  ASSERT_EQ(dev.EraseBlock(0), Status::kOk);
+  EXPECT_EQ(dev.ReadsSinceErase(0), 0u);
+  ASSERT_EQ(dev.ProgramPage(0, OobRecord{}, 7, nullptr, &ppn), Status::kOk);
+  ASSERT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kOk);
+  EXPECT_EQ(token, 7u);
+}
+
+TEST(FlashFaultTest, RetentionDecayRotsPagesLeftProgrammedTooLong) {
+  SimClock clock;
+  FaultPlan plan = EnabledPlan();
+  plan.retention_age_us = 1000;
+  plan.retention_fail_prob = 1.0;
+  FlashDevice dev(TinyGeometry(), FlashTimings{}, &clock, false, plan);
+  Ppn ppn = 0;
+  ASSERT_EQ(dev.ProgramPage(0, OobRecord{}, 11, nullptr, &ppn), Status::kOk);
+  uint64_t token = 0;
+  // Fresh data reads fine...
+  ASSERT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kOk);
+  // ...but after sitting programmed past the retention age it has rotted.
+  clock.Advance(2000);
+  EXPECT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kCorrupt);
+  EXPECT_EQ(dev.fault_stats().retention_failures, 1u);
+  // An erase + reprogram refresh restarts the retention clock.
+  ASSERT_EQ(dev.EraseBlock(0), Status::kOk);
+  ASSERT_EQ(dev.ProgramPage(0, OobRecord{}, 12, nullptr, &ppn), Status::kOk);
+  ASSERT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kOk);
+  EXPECT_EQ(token, 12u);
+}
+
+TEST(FlashFaultTest, PausedObserverReadsDoNotAgeTheMedium) {
+  SimClock clock;
+  FaultPlan plan = EnabledPlan();
+  plan.read_disturb_limit = 2;
+  plan.read_disturb_prob = 1.0;
+  FlashDevice dev(TinyGeometry(), FlashTimings{}, &clock, false, plan);
+  Ppn ppn = 0;
+  ASSERT_EQ(dev.ProgramPage(0, OobRecord{}, 3, nullptr, &ppn), Status::kOk);
+  // A paused observer (the epoch audits) can sweep the device all it wants
+  // without accumulating disturb exposure against the state it is checking.
+  dev.set_fault_injection_paused(true);
+  uint64_t token = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kOk);
+  }
+  EXPECT_EQ(dev.ReadsSinceErase(0), 0u);
+  // Unpaused reads age it as usual: two within budget, the third corrupts.
+  dev.set_fault_injection_paused(false);
+  ASSERT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kOk);
+  ASSERT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kOk);
+  EXPECT_EQ(dev.ReadPage(ppn, &token, nullptr, nullptr), Status::kCorrupt);
+}
+
+TEST(FtlFaultTest, PatrolScrubRelocatesDisturbExposedBlocks) {
+  SimClock clock;
+  FaultPlan plan = EnabledPlan();
+  plan.read_disturb_limit = 200;
+  plan.read_disturb_prob = 1.0;
+  SscConfig config = FaultyConfig(plan);
+  config.patrol_interval_writes = 4;
+  SscDevice ssc(config, &clock);
+  // Fill the cache and drain the log so the working set is block-mapped —
+  // the patrol walks data blocks.
+  for (Lbn lbn = 0; lbn < 2048; ++lbn) {
+    ASSERT_EQ(ssc.WriteClean(lbn, lbn + 1), Status::kOk);
+  }
+  ssc.DrainLog();
+  // Grind reads onto one block until its exposure enters the patrol's risk
+  // band (75% of the disturb limit) without yet reaching the limit itself.
+  uint64_t token = 0;
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_EQ(ssc.Read(0, &token), Status::kOk);
+  }
+  ASSERT_EQ(ssc.ftl_stats().patrol_repairs, 0u);
+  // A few host writes later the patrol cadence fires and moves the exposed
+  // block's data to fresh flash before the disturb limit is crossed.
+  for (Lbn lbn = 10000; lbn < 10008; ++lbn) {
+    ASSERT_EQ(ssc.WriteDirty(lbn, lbn), Status::kOk);
+  }
+  EXPECT_GE(ssc.ftl_stats().patrol_repairs, 1u);
+  // The relocated copy reads clean long past the original budget.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(ssc.Read(0, &token), Status::kOk);
+    EXPECT_EQ(token, 1u);
+  }
+}
+
+TEST(FtlFaultTest, StaticWearLevelingMigratesOnItsWriteCadence) {
+  SimClock clock;
+  SscConfig config = FaultyConfig(FaultPlan{});
+  config.wear_level_interval_writes = 8;
+  config.wear_level_max_diff = 1;
+  SscDevice ssc(config, &clock);
+  // A dirty sentinel that must survive every background migration.
+  ASSERT_EQ(ssc.WriteDirty(99999, 4242), Status::kOk);
+  // Churn clean overwrites to drive GC and skew per-block wear.
+  for (int round = 0; round < 10; ++round) {
+    for (Lbn lbn = 0; lbn < 3000; ++lbn) {
+      ASSERT_EQ(ssc.WriteClean(lbn, lbn + round), Status::kOk);
+    }
+  }
+  EXPECT_GE(ssc.ftl_stats().wl_migrations, 1u);
+  uint64_t token = 0;
+  ASSERT_EQ(ssc.Read(99999, &token), Status::kOk);
+  EXPECT_EQ(token, 4242u);
+}
+
+TEST(ManagerFaultTest, CapacityFloorTripsPermanentPassThrough) {
+  SimClock clock;
+  FaultPlan plan = EnabledPlan();
+  plan.erase_fail_prob = 1.0;  // every erase retires its block
+  SscDevice ssc(FaultyConfig(plan), &clock);
+  DiskModel disk(DiskParams{}, &clock);
+  WriteBackManager::Options opts;
+  opts.min_usable_capacity_pct = 100;  // any retirement at all is below floor
+  WriteBackManager manager(&ssc, &disk, opts);
+  // Age the cache until the first retirement lands.
+  Lbn lbn = 0;
+  while (ssc.ftl_stats().retired_blocks == 0) {
+    ASSERT_EQ(manager.Write(lbn, 700 + lbn), Status::kOk);
+    ASSERT_LT(++lbn, 100000u);
+  }
+  // The next write observes the shrunken capacity and trips the floor.
+  ASSERT_EQ(manager.Write(lbn, 700 + lbn), Status::kOk);
+  EXPECT_TRUE(manager.degraded());
+  EXPECT_GE(manager.stats().degraded_entries, 1u);
+  EXPECT_GT(manager.stats().pass_through_writes, 0u);
+  // Retirement is permanent, so unlike the probe-and-reengage trip, the
+  // floor never clears: every later write passes through...
+  const uint64_t before = manager.stats().pass_through_writes;
+  for (Lbn i = 0; i < 300; ++i) {
+    ASSERT_EQ(manager.Write(200000 + i, 900 + i), Status::kOk);
+  }
+  EXPECT_EQ(manager.stats().pass_through_writes, before + 300);
+  EXPECT_TRUE(manager.degraded());
+  // ...and reads still serve, correctly, from disk.
+  uint64_t token = 0;
+  ASSERT_EQ(manager.Read(200000, &token), Status::kOk);
+  EXPECT_EQ(token, 900u);
+}
+
 // ---- End-to-end: a faulty medium must never produce a stale read ----
 
 class FaultSweepTest : public ::testing::TestWithParam<uint64_t> {};

@@ -500,6 +500,41 @@ TEST(SscMemoryTest, SparseMapMemoryTracksCachedDataNotAddressSpace) {
   EXPECT_LT(used - empty, 1000u * 200u);  // grows with entries, not with range
 }
 
+TEST(SscEvictionTest, RetirementExhaustionFailsWritesCleanly) {
+  SimClock clock;
+  SscConfig config = SmallConfig(EvictionPolicy::kSeUtil, ConsistencyMode::kNone);
+  config.fault_plan.enabled = true;
+  config.fault_plan.seed = 7;
+  config.fault_plan.erase_fail_prob = 1.0;  // every erase retires its block
+  SscDevice ssc(config, &clock);
+  // Stream distinct clean blocks until retirement has eaten the allocator.
+  Status last = Status::kOk;
+  Lbn written = 0;
+  for (Lbn lbn = 0; lbn < 100000; ++lbn) {
+    last = ssc.WriteClean(lbn, lbn + 1);
+    if (last != Status::kOk) {
+      break;
+    }
+    ++written;
+  }
+  // Exhaustion surfaces as an honest error, never a crash or silent loss.
+  EXPECT_TRUE(last == Status::kNoSpace || last == Status::kIoError);
+  EXPECT_GT(ssc.ftl_stats().retired_blocks, 0u);
+  EXPECT_LT(ssc.usable_capacity_pages(), ssc.capacity_pages());
+  EXPECT_GT(ssc.retired_capacity_pct(), 0.0);
+  // Whatever the worn-out cache still serves must be the acknowledged data;
+  // clean blocks may have been silently evicted, never corrupted.
+  for (Lbn lbn = 0; lbn < written; ++lbn) {
+    uint64_t token = 0;
+    const Status s = ssc.Read(lbn, &token);
+    if (s == Status::kOk) {
+      EXPECT_EQ(token, lbn + 1);
+    } else {
+      ASSERT_EQ(s, Status::kNotPresent);
+    }
+  }
+}
+
 TEST(SscMemoryTest, SeMergeReservesMoreThanSeUtil) {
   SimClock clock_a;
   SscDevice util(SmallConfig(EvictionPolicy::kSeUtil), &clock_a);

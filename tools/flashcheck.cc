@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/check/aging.h"
 #include "src/check/crash_explorer.h"
 #include "src/check/disk_guard.h"
 #include "src/check/kv_check.h"
@@ -42,6 +43,14 @@ constexpr const char* kUsage =
     "                         inside recovery (incl. double crashes)\n"
     "  --soak=N               crash-storm soak: N seeded crash->recover->\n"
     "                         verify->resume cycles on one long-lived device\n"
+    "  --aging=N              device-lifetime aging: replay the workload mix\n"
+    "                         until N x capacity has been written, with wear-\n"
+    "                         out retirement, read-disturb and retention\n"
+    "                         faults active and the endurance defenses (wear\n"
+    "                         leveling, patrol scrub, capacity degradation)\n"
+    "                         on their normal cadence; audits invariants and\n"
+    "                         the shadow model at every 1x-capacity epoch;\n"
+    "                         composes with --faults, --shards, --admission\n"
     "  --kv                   check the tiny-object KV layer (DESIGN.md §5k):\n"
     "                         explore every commit point a mixed object\n"
     "                         workload crosses (or --soak=N cycles on one\n"
@@ -74,6 +83,14 @@ constexpr const char* kUsage =
     "fault injection (composes with every mode):\n"
     "  --faults --fault-seed=1 --program-fail=0.01 --erase-fail=0.05\n"
     "  --read-corrupt=0.005 --wear-limit=0\n"
+    "  --read-disturb-limit=0 --read-disturb-prob=0 (reads past the limit\n"
+    "  since the block's last erase may corrupt; erase resets the exposure)\n"
+    "  --retention-age-us=0 --retention-prob=0 (pages resident longer than\n"
+    "  the age may corrupt when read)\n"
+    "\n"
+    "aging options (--aging mode; wear/disturb/retention default ON here):\n"
+    "  --aging=N --soak-ops=512 --wl-interval=32 --wl-max-diff=8\n"
+    "  --patrol-interval=64 --patrol-blocks=4 --stats-json=FILE\n"
     "\n"
     "soak options:\n"
     "  --soak=N --soak-ops=400 --recovery-crash-period=3\n"
@@ -124,7 +141,12 @@ int main(int argc, char** argv) {
       "faults",        "fault-seed",
       "program-fail",  "erase-fail",
       "read-corrupt",  "wear-limit",
-      "soak",          "soak-ops",
+      "read-disturb-limit", "read-disturb-prob",
+      "retention-age-us", "retention-prob",
+      "aging",         "wl-interval",
+      "wl-max-diff",   "patrol-interval",
+      "patrol-blocks", "soak",
+      "soak-ops",
       "recovery-crash-period", "recovery-budget-us",
       "stats-json",    "disk-faults",
       "disk-seed",     "disk-read-fail",
@@ -177,6 +199,12 @@ int main(int argc, char** argv) {
   options.faults.erase_fail_prob = args.GetDouble("erase-fail", 0.05);
   options.faults.read_corrupt_prob = args.GetDouble("read-corrupt", 0.005);
   options.faults.wear_out_erases = static_cast<uint32_t>(args.GetInt("wear-limit", 0));
+  options.faults.read_disturb_limit =
+      static_cast<uint32_t>(args.GetInt("read-disturb-limit", 0));
+  options.faults.read_disturb_prob = args.GetDouble("read-disturb-prob", 0.0);
+  options.faults.retention_age_us =
+      static_cast<uint64_t>(args.GetInt("retention-age-us", 0));
+  options.faults.retention_fail_prob = args.GetDouble("retention-prob", 0.0);
   options.break_retirement = args.GetBool("break-retry", false);
   if (!args.ok()) {
     std::fprintf(stderr, "flashcheck: %s\n", args.error().c_str());
@@ -217,6 +245,57 @@ int main(int argc, char** argv) {
 
   const std::string stats_json = args.GetString("stats-json", "");
   const int64_t soak_cycles = args.GetInt("soak", 0);
+  const int64_t aging_multiple = args.GetInt("aging", 0);
+  if (aging_multiple > 0) {
+    flashtier::AgingOptions aopts;
+    aopts.aging_multiple = static_cast<uint32_t>(aging_multiple);
+    aopts.seed = options.seed;
+    aopts.capacity_pages = options.capacity_pages;
+    aopts.shards = options.shards;
+    aopts.policy = options.policy;
+    aopts.mode = options.mode;
+    aopts.ops_per_round = static_cast<uint32_t>(args.GetPositiveInt("soak-ops", 512));
+    aopts.address_blocks = options.address_blocks;
+    aopts.wear_level_interval_writes =
+        static_cast<uint32_t>(args.GetInt("wl-interval", 32));
+    aopts.wear_level_max_diff = static_cast<uint32_t>(args.GetInt("wl-max-diff", 8));
+    aopts.patrol_interval_writes =
+        static_cast<uint32_t>(args.GetInt("patrol-interval", 64));
+    aopts.patrol_blocks_per_pass =
+        static_cast<uint32_t>(args.GetPositiveInt("patrol-blocks", 4));
+    aopts.faults = options.faults;
+    if (aopts.faults.enabled) {
+      // Aging is about wear: under --aging, --faults also turns on wear-out
+      // retirement and the disturb/retention decay mechanisms unless each
+      // knob is explicitly overridden (=0 keeps one off).
+      // The default device is tiny (10 blocks/shard), so blocks only see a
+      // handful of erases per capacity written; a single-digit wear limit is
+      // the scaled equivalent of real NAND's thousands of P/E cycles.
+      aopts.faults.wear_out_erases = static_cast<uint32_t>(args.GetInt("wear-limit", 6));
+      aopts.faults.read_disturb_limit =
+          static_cast<uint32_t>(args.GetInt("read-disturb-limit", 64));
+      aopts.faults.read_disturb_prob = args.GetDouble("read-disturb-prob", 0.05);
+      aopts.faults.retention_age_us =
+          static_cast<uint64_t>(args.GetInt("retention-age-us", 300'000));
+      aopts.faults.retention_fail_prob = args.GetDouble("retention-prob", 0.05);
+    }
+    aopts.admission = options.admission;
+    aopts.verbose = options.verbose;
+    if (!args.ok()) {
+      std::fprintf(stderr, "flashcheck: %s\n", args.error().c_str());
+      return 2;
+    }
+
+    flashtier::AgingHarness harness(aopts);
+    const flashtier::AgingReport report = harness.Run();
+    std::printf("flashcheck: %s\n", report.ToString().c_str());
+    if (!stats_json.empty() && !WriteStatsJson(stats_json, report.ToJson())) {
+      std::fprintf(stderr, "flashcheck: cannot write --stats-json file '%s'\n",
+                   stats_json.c_str());
+      return 2;
+    }
+    return report.ok() ? 0 : 1;
+  }
   if (args.GetBool("kv", false)) {
     flashtier::KvCheckOptions kopts;
     kopts.capacity_pages = options.capacity_pages;
@@ -350,7 +429,8 @@ int main(int argc, char** argv) {
   }
   if (!stats_json.empty()) {
     std::fprintf(stderr,
-                 "flashcheck: --stats-json is only produced by --soak and --disk-faults runs\n");
+                 "flashcheck: --stats-json is only produced by --soak, --disk-faults and "
+                 "--aging runs\n");
     return 2;
   }
 
